@@ -1,0 +1,71 @@
+// Ablation: Skeena's pipelined commit (Section 4.5) vs. a synchronous
+// commit that flushes both logs on the worker thread, and central vs.
+// partitioned commit queues — on the cross-engine microbenchmark with an
+// SSD-like log latency so the flush cost is visible.
+//
+// Expected shape: pipelining wins throughput at saturation (workers detach
+// instead of waiting out the flush) and the partitioned queue relieves the
+// central daemon at high connection counts.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+
+  auto matrix = std::make_shared<ResultMatrix>(
+      "Ablation: commit protocol (50% InnoDB read-write micro, SSD log)",
+      "Protocol");
+
+  struct Variant {
+    std::string label;
+    CommitPipeline::Mode mode;
+    size_t queues;
+  };
+  std::vector<Variant> variants = {
+      {"pipelined, 1 queue", CommitPipeline::Mode::kPipelined, 1},
+      {"pipelined, 4 queues", CommitPipeline::Mode::kPipelined, 4},
+      {"synchronous flush", CommitPipeline::Mode::kSync, 1},
+  };
+
+  for (const auto& v : variants) {
+    for (int conns : scale.connections) {
+      RegisterCell("AblationCommit/" + v.label + "/conns:" +
+                       std::to_string(conns),
+                   [=, &cache] {
+                     MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
+                     cfg.read_pct = 80;
+                     cfg.stor_pct = 50;
+                     cfg.pool_fraction = 2.0;
+                     cfg.pipeline.mode = v.mode;
+                     cfg.pipeline.num_queues = v.queues;
+                     // SSD-priced log syncs: the pipelined/synchronous
+                     // distinction only exists when flushes cost something.
+                     cfg.log_latency = DeviceLatency::Ssd();
+                     MicroWorkload* wl = cache.Get(cfg, true);
+                     RunResult r = RunWorkload(
+                         conns, scale.duration_ms,
+                         [wl](int t, Rng& rng, uint64_t* q) {
+                           return wl->RunOneTxn(t, rng, q);
+                         });
+                     matrix->Set(v.label, std::to_string(conns), r.Tps());
+                     return r;
+                   });
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  matrix->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation: CSR design knobs called out in DESIGN.md — partition capacity
+// (paper: 1000 entries per index), recycle period (paper: once per 5000
+// accesses), and the anchor-engine choice (Section 4.3 argues for the
+// memory engine) — measured on the cross-engine read-write microbenchmark.
+//
+// Expected shape: throughput is flat across capacity/recycle settings
+// (CSR work is negligible next to engine work — the fast-slow bet); tiny
+// partitions only raise the Skeena abort share slightly; anchoring at the
+// storage engine taxes every memdb-only transaction with trx-sys-mutex
+// snapshot acquisition.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  int conns = scale.connections.back();
+  MicroCache cache;
+
+  auto base_config = [&] {
+    MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
+    cfg.read_pct = 80;
+    cfg.stor_pct = 50;
+    cfg.pool_fraction = 2.0;
+    return cfg;
+  };
+
+  auto cap_matrix = std::make_shared<ResultMatrix>(
+      "Ablation: CSR partition capacity (50% InnoDB read-write micro)",
+      "Capacity");
+  for (size_t capacity : {16ul, 128ul, 1000ul, 8192ul}) {
+    RegisterCell("AblationCsr/capacity:" + std::to_string(capacity),
+                 [=, &cache] {
+                   MicroConfig cfg = base_config();
+                   cfg.csr.partition_capacity = capacity;
+                   MicroWorkload* wl = cache.Get(cfg, true);
+                   RunResult r = RunWorkload(
+                       conns, scale.duration_ms,
+                       [wl](int t, Rng& rng, uint64_t* q) {
+                         return wl->RunOneTxn(t, rng, q);
+                       });
+                   cap_matrix->Set(std::to_string(capacity), "TPS", r.Tps());
+                   cap_matrix->Set(std::to_string(capacity),
+                                   "skeena abort %",
+                                   r.SkeenaAbortRate() * 100.0);
+                   cap_matrix->Set(
+                       std::to_string(capacity), "partitions",
+                       static_cast<double>(wl->db()->csr().PartitionCount()));
+                   return r;
+                 });
+  }
+
+  auto recycle_matrix = std::make_shared<ResultMatrix>(
+      "Ablation: CSR recycle period", "Period");
+  for (uint64_t period : {500ull, 5000ull, 50000ull}) {
+    RegisterCell("AblationCsr/recycle:" + std::to_string(period),
+                 [=, &cache] {
+                   MicroConfig cfg = base_config();
+                   cfg.csr.recycle_period = period;
+                   MicroWorkload* wl = cache.Get(cfg, true);
+                   RunResult r = RunWorkload(
+                       conns, scale.duration_ms,
+                       [wl](int t, Rng& rng, uint64_t* q) {
+                         return wl->RunOneTxn(t, rng, q);
+                       });
+                   recycle_matrix->Set(std::to_string(period), "TPS",
+                                       r.Tps());
+                   recycle_matrix->Set(
+                       std::to_string(period), "partitions",
+                       static_cast<double>(wl->db()->csr().PartitionCount()));
+                   recycle_matrix->Set(
+                       std::to_string(period), "recycled",
+                       static_cast<double>(
+                           wl->db()->stats().csr.partitions_recycled));
+                   return r;
+                 });
+  }
+
+  auto anchor_matrix = std::make_shared<ResultMatrix>(
+      "Ablation: anchor engine choice (Section 4.3)", "Anchor");
+  for (auto [label, anchor, stor_pct] :
+       {std::tuple<std::string, EngineKind, int>{"mem anchor, mem-only txns",
+                                                 EngineKind::kMem, 0},
+        {"stor anchor, mem-only txns", EngineKind::kStor, 0},
+        {"mem anchor, 50% cross", EngineKind::kMem, 50},
+        {"stor anchor, 50% cross", EngineKind::kStor, 50}}) {
+    RegisterCell("AblationCsr/anchor:" + label, [=, &cache] {
+      MicroConfig cfg = base_config();
+      cfg.anchor = anchor;
+      cfg.stor_pct = stor_pct;
+      MicroWorkload* wl = cache.Get(cfg, true);
+      RunResult r = RunWorkload(conns, scale.duration_ms,
+                                [wl](int t, Rng& rng, uint64_t* q) {
+                                  return wl->RunOneTxn(t, rng, q);
+                                });
+      anchor_matrix->Set(label, "TPS", r.Tps());
+      return r;
+    });
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  cap_matrix->Print(2);
+  recycle_matrix->Print(2);
+  anchor_matrix->Print(0);
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

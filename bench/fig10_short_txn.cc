@@ -1,0 +1,69 @@
+// Reproduces paper Figure 10: memory-resident short transactions (two
+// queries each — one per engine in the cross-engine case) at saturation,
+// for read-only / read-write / write-only mixes.
+//
+// Expected shape (Section 6.5): ERMIA stays flat across mixes; 100% InnoDB
+// drops with writes; the cross-engine 50% InnoDB is slowest (Skeena's CSR +
+// commit protocol dominate such tiny transactions) but only slightly below
+// 100% InnoDB, since InnoDB write handling outweighs the in-memory CSR.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  int conns = scale.connections.back();
+  auto matrix = std::make_shared<ResultMatrix>(
+      "Figure 10: short transactions (2 queries), memory-resident, " +
+          std::to_string(conns) + " connections (TPS)",
+      "Scheme");
+
+  struct Scheme {
+    std::string label;
+    bool skeena_on;
+    int stor_pct;
+  };
+  std::vector<Scheme> schemes = {
+      {"ERMIA", false, 0}, {"50% InnoDB", true, 50},
+      {"100% InnoDB", false, 100}};
+  struct Mix {
+    std::string label;
+    int read_pct;
+  };
+  std::vector<Mix> mixes = {
+      {"Read-only", 100}, {"Read-write", 50}, {"Write-only", 0}};
+
+  for (const auto& scheme : schemes) {
+    for (const auto& mix : mixes) {
+      RegisterCell("Fig10/" + scheme.label + "/" + mix.label, [=, &cache] {
+        MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
+        cfg.ops_per_txn = 2;
+        cfg.read_pct = mix.read_pct;
+        cfg.stor_pct = scheme.stor_pct;
+        cfg.pool_fraction = 2.0;
+        MicroWorkload* wl = cache.Get(cfg, scheme.skeena_on);
+        RunResult r = RunWorkload(conns, scale.duration_ms,
+                                  [wl](int t, Rng& rng, uint64_t* q) {
+                                    return wl->RunOneTxn(t, rng, q);
+                                  });
+        matrix->Set(scheme.label, mix.label, r.Tps());
+        return r;
+      });
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  matrix->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

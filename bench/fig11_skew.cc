@@ -1,0 +1,78 @@
+// Reproduces paper Figure 11: storage-resident read-write (80/20)
+// microbenchmark under uniform and Zipfian (0.7 / 0.99) access skew, at a
+// single connection and at saturation, for ERMIA / 50% InnoDB /
+// 100% InnoDB.
+//
+// Expected shape (Section 6.6): skew has little visible effect — the
+// memory engine's record accesses are a small share of transaction cost,
+// and once InnoDB is involved the storage stack dominates.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  std::vector<int> conn_set = {1, scale.connections.back()};
+  struct Scheme {
+    std::string label;
+    bool skeena_on;
+    int stor_pct;
+  };
+  std::vector<Scheme> schemes = {
+      {"ERMIA", false, 0}, {"50% InnoDB", true, 50},
+      {"100% InnoDB", false, 100}};
+  struct Skew {
+    std::string label;
+    double theta;
+  };
+  std::vector<Skew> skews = {
+      {"Uniform", 0}, {"Zipfian 0.7", 0.7}, {"Zipfian 0.99", 0.99}};
+
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+  for (int conns : conn_set) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 11: skewed accesses, " + std::to_string(conns) +
+            " connection(s), storage-resident r:w=8:2 (TPS)",
+        "Scheme");
+    matrices.push_back(matrix);
+    for (const auto& scheme : schemes) {
+      for (const auto& skew : skews) {
+        RegisterCell("Fig11/conns:" + std::to_string(conns) + "/" +
+                         scheme.label + "/" + skew.label,
+                     [=, &cache] {
+                       MicroConfig cfg =
+                           ScaledMicroConfig(MicroConfig{}, scale);
+                       cfg.read_pct = 80;
+                       cfg.stor_pct = scheme.stor_pct;
+                       cfg.zipf_theta = skew.theta;
+                       cfg.pool_fraction = 0.1;
+                       MicroWorkload* wl = cache.Get(
+                           cfg, scheme.skeena_on,
+                           DeviceLatency::TmpfsStack());
+                       RunResult r = RunWorkload(
+                           conns, scale.duration_ms,
+                           [wl](int t, Rng& rng, uint64_t* q) {
+                             return wl->RunOneTxn(t, rng, q);
+                           });
+                       matrix->Set(scheme.label, skew.label, r.Tps());
+                       return r;
+                     });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Figure 12: 95th-percentile transaction latency of the
+// storage-resident microbenchmarks at a single connection (idle system) and
+// at saturation.
+//
+// Expected shape (Section 6.8): Skeena adds no visible latency to
+// single-engine transactions (ERMIA-S tracks ERMIA; InnoDB-S adds a small
+// constant); latency grows with the share of InnoDB accesses; everything
+// rises at saturation.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  std::vector<int> conn_set = {1, scale.connections.back()};
+  struct Mix {
+    std::string label;
+    int read_pct;
+  };
+  std::vector<Mix> mixes = {
+      {"Read-only", 100}, {"Read-write", 80}, {"Write-only", 0}};
+
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+  for (int conns : conn_set) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 12: p95 latency (ms), storage-resident, " +
+            std::to_string(conns) + " connection(s)",
+        "Scheme");
+    matrices.push_back(matrix);
+    for (const auto& scheme : StorageResidentSchemes()) {
+      for (const auto& mix : mixes) {
+        RegisterCell("Fig12/conns:" + std::to_string(conns) + "/" +
+                         scheme.label + "/" + mix.label,
+                     [=, &cache] {
+                       MicroConfig cfg =
+                           ScaledMicroConfig(MicroConfig{}, scale);
+                       cfg.read_pct = mix.read_pct;
+                       cfg.stor_pct = scheme.stor_pct;
+                       cfg.pool_fraction = 0.1;
+                       MicroWorkload* wl = cache.Get(
+                           cfg, scheme.skeena_on,
+                           DeviceLatency::TmpfsStack());
+                       RunResult r = RunWorkload(
+                           conns, scale.duration_ms,
+                           [wl](int t, Rng& rng, uint64_t* q) {
+                             return wl->RunOneTxn(t, rng, q);
+                           });
+                       matrix->Set(
+                           scheme.label, mix.label,
+                           static_cast<double>(r.latency.Percentile(95)) /
+                               1e6);
+                       return r;
+                     });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print(3);
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Figure 13: TPC-C throughput as tables are cumulatively
+// moved from InnoDB to ERMIA (bottom-up: Customer first, Stock last).
+//
+// Expected shape (Section 6.9): throughput changes little until NEW_ORDER
+// moves to the memory engine — Delivery's range scans + deletes over
+// NEW_ORDER hold record locks in InnoDB — after which the full mix jumps
+// by roughly an order of magnitude; 100% ERMIA is the ceiling.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  auto matrix = std::make_shared<ResultMatrix>(
+      "Figure 13: TPC-C TPS, tables cumulatively placed in ERMIA",
+      "Tables in ERMIA");
+
+  const auto& order = Tpcc::PlacementOrder();
+  // Row labels bottom-up like the paper; computed top-down here so the
+  // printed matrix reads the same way.
+  std::vector<std::pair<std::string, size_t>> rows;  // label, #mem tables
+  rows.push_back({"100% InnoDB", 0});
+  for (size_t i = 0; i < order.size(); ++i) {
+    std::string label = "+" + order[i];
+    if (i + 1 == order.size()) label += " (100% ERMIA)";
+    rows.push_back({label, i + 1});
+  }
+  std::reverse(rows.begin(), rows.end());
+
+  for (const auto& [label, n_mem] : rows) {
+    // One populated database per placement, shared across connection counts.
+    auto tpcc = std::make_shared<std::shared_ptr<Tpcc>>();
+    for (int conns : scale.connections) {
+      RegisterCell("Fig13/" + label + "/conns:" + std::to_string(conns),
+                   [=, n_mem = n_mem, label = label] {
+                     if (!*tpcc) {
+                       TpccConfig cfg =
+                           ScaledTpccConfig(TpccConfig{}, scale);
+                       cfg.data_latency = DeviceLatency::TmpfsStack();
+                       for (size_t i = 0; i < n_mem; ++i) {
+                         cfg.mem_tables.insert(order[i]);
+                       }
+                       *tpcc = std::make_shared<Tpcc>(cfg);
+                     }
+                     Tpcc* t = tpcc->get();
+                     RunResult r = RunWorkload(
+                         conns, scale.duration_ms,
+                         [t](int tid, Rng& rng, uint64_t* q) {
+                           return t->RunMix(tid, rng, q);
+                         });
+                     matrix->Set(label, std::to_string(conns), r.Tps());
+                     return r;
+                   });
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  matrix->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

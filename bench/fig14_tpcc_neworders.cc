@@ -1,0 +1,108 @@
+// Reproduces paper Figure 14: throughput of individual TPC-C transactions
+// when only NEW_ORDER is placed in ERMIA (+New-Orders), compared to
+// 100% InnoDB and the cumulative ++Orders / ++New-Orders placements.
+//
+// Expected shape (Section 6.9): Delivery accelerates by an order of
+// magnitude as soon as NEW_ORDER leaves InnoDB (its scans+deletes stop
+// holding InnoDB record locks); New-Order, Payment, Stock-Level and
+// Order-Status barely react to that one table.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+using TxnMethod = Status (Tpcc::*)(Rng&, uint16_t, uint64_t*);
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  const auto& order = Tpcc::PlacementOrder();
+
+  struct Variant {
+    std::string label;
+    std::set<std::string> mem_tables;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    // ++New-Orders: cumulative through new_orders (paper row 3 of Fig 13).
+    for (const auto& t : order) {
+      v.mem_tables.insert(t);
+      if (t == "new_orders") break;
+    }
+    v.label = "++New-Orders";
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    for (const auto& t : order) {
+      if (t == "new_orders") continue;
+      v.mem_tables.insert(t);
+      if (t == "orders") break;
+    }
+    v.label = "++Orders";
+    variants.push_back(v);
+  }
+  variants.push_back({"+New-Orders", {"new_orders"}});
+  variants.push_back({"100% InnoDB", {}});
+
+  struct TxnType {
+    std::string label;
+    TxnMethod method;
+  };
+  std::vector<TxnType> txns = {{"(a) New-Order", &Tpcc::NewOrder},
+                               {"(b) Payment", &Tpcc::Payment},
+                               {"(c) Delivery", &Tpcc::Delivery},
+                               {"(d) Stock-Level", &Tpcc::StockLevel},
+                               {"(e) Order-Status", &Tpcc::OrderStatus}};
+
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+  std::vector<std::shared_ptr<std::shared_ptr<Tpcc>>> instances;
+  for (size_t i = 0; i < variants.size(); ++i) {
+    instances.push_back(std::make_shared<std::shared_ptr<Tpcc>>());
+  }
+
+  for (const auto& txn : txns) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 14" + txn.label + ": TPS vs connections", "Tables in ERMIA");
+    matrices.push_back(matrix);
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+      const Variant& variant = variants[vi];
+      auto inst = instances[vi];
+      for (int conns : scale.connections) {
+        RegisterCell(
+            "Fig14/" + txn.label + "/" + variant.label + "/conns:" +
+                std::to_string(conns),
+            [=, method = txn.method] {
+              if (!*inst) {
+                TpccConfig cfg = ScaledTpccConfig(TpccConfig{}, scale);
+                cfg.data_latency = DeviceLatency::TmpfsStack();
+                cfg.mem_tables = variant.mem_tables;
+                *inst = std::make_shared<Tpcc>(cfg);
+              }
+              Tpcc* t = inst->get();
+              RunResult r = RunWorkload(
+                  conns, scale.duration_ms,
+                  [t, method](int tid, Rng& rng, uint64_t* q) {
+                    uint16_t w = t->HomeWarehouse(tid, rng);
+                    return (t->*method)(rng, w, q);
+                  });
+              matrix->Set(variant.label, std::to_string(conns), r.Tps());
+              return r;
+            });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

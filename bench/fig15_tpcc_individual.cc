@@ -1,0 +1,93 @@
+// Reproduces paper Figure 15: TPC-C full-mix and individual-transaction
+// throughput by table placement at a fixed connection count (the paper's
+// 50; here the largest configured connection count).
+//
+// Expected shape (Section 6.9): Payment and Order-Status jump once
+// CUSTOMER is in ERMIA; Delivery jumps with NEW_ORDER; Stock-Level benefits
+// most when STOCK moves; the full mix tracks Delivery's improvement.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+using TxnMethod = Status (Tpcc::*)(Rng&, uint16_t, uint64_t*);
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  int conns = scale.connections.back();
+  const auto& order = Tpcc::PlacementOrder();
+
+  auto matrix = std::make_shared<ResultMatrix>(
+      "Figure 15: TPC-C TPS by placement at " + std::to_string(conns) +
+          " connections",
+      "Tables in ERMIA");
+
+  std::vector<std::pair<std::string, size_t>> rows;
+  rows.push_back({"100% InnoDB", 0});
+  for (size_t i = 0; i < order.size(); ++i) {
+    std::string label = "+" + order[i];
+    if (i + 1 == order.size()) label += " (100% ERMIA)";
+    rows.push_back({label, i + 1});
+  }
+  std::reverse(rows.begin(), rows.end());
+
+  struct TxnType {
+    std::string label;
+    TxnMethod method;
+  };
+  std::vector<TxnType> txns = {{"New-Order", &Tpcc::NewOrder},
+                               {"Payment", &Tpcc::Payment},
+                               {"Delivery", &Tpcc::Delivery},
+                               {"Stock-Level", &Tpcc::StockLevel},
+                               {"Order-Status", &Tpcc::OrderStatus}};
+
+  for (const auto& [label, n_mem] : rows) {
+    auto inst = std::make_shared<std::shared_ptr<Tpcc>>();
+    auto make = [=, n_mem = n_mem] {
+      if (!*inst) {
+        TpccConfig cfg = ScaledTpccConfig(TpccConfig{}, scale);
+                cfg.data_latency = DeviceLatency::TmpfsStack();
+        for (size_t i = 0; i < n_mem; ++i) cfg.mem_tables.insert(order[i]);
+        *inst = std::make_shared<Tpcc>(cfg);
+      }
+      return inst->get();
+    };
+    RegisterCell("Fig15/" + label + "/Full-Mix", [=, label = label] {
+      Tpcc* t = make();
+      RunResult r = RunWorkload(conns, scale.duration_ms,
+                                [t](int tid, Rng& rng, uint64_t* q) {
+                                  return t->RunMix(tid, rng, q);
+                                });
+      matrix->Set(label, "Full-Mix", r.Tps());
+      return r;
+    });
+    for (const auto& txn : txns) {
+      RegisterCell(
+          "Fig15/" + label + "/" + txn.label,
+          [=, label = label, method = txn.method, tlabel = txn.label] {
+            Tpcc* t = make();
+            RunResult r = RunWorkload(
+                conns, scale.duration_ms,
+                [t, method](int tid, Rng& rng, uint64_t* q) {
+                  uint16_t w = t->HomeWarehouse(tid, rng);
+                  return (t->*method)(rng, w, q);
+                });
+            matrix->Set(label, tlabel, r.Tps());
+            return r;
+          });
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  matrix->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Reproduces paper Figure 16: TPC-C throughput under the recommended
+// end-to-end placement schemes (Section 6.9):
+//   New-Order-Opt: CUSTOMER + ITEM in ERMIA (optimize New-Order)
+//   Payment-Opt:   CUSTOMER in ERMIA (optimize Payment)
+//   Archive:       everything except HISTORY in ERMIA (storage-cost play)
+// against 100% InnoDB and 100% ERMIA baselines.
+//
+// Expected shape: Archive overlaps 100% ERMIA (HISTORY is insert-only and
+// never queried); the -Opt schemes lift their target transactions over
+// InnoDB while staying below full ERMIA.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+using TxnMethod = Status (Tpcc::*)(Rng&, uint16_t, uint64_t*);
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  const auto& order = Tpcc::PlacementOrder();
+
+  struct Scheme {
+    std::string label;
+    std::set<std::string> mem_tables;
+  };
+  std::vector<Scheme> schemes;
+  schemes.push_back({"InnoDB", {}});
+  schemes.push_back({"Payment-Opt", {"customer"}});
+  schemes.push_back({"New-Order-Opt", {"customer", "item"}});
+  {
+    Scheme archive{"Archive", {}};
+    for (const auto& t : order) {
+      if (t != "history") archive.mem_tables.insert(t);
+    }
+    schemes.push_back(archive);
+  }
+  {
+    Scheme ermia{"ERMIA", {}};
+    for (const auto& t : order) ermia.mem_tables.insert(t);
+    schemes.push_back(ermia);
+  }
+
+  struct TxnType {
+    std::string label;
+    TxnMethod method;
+  };
+  std::vector<TxnType> txns = {{"New-Order", &Tpcc::NewOrder},
+                               {"Payment", &Tpcc::Payment},
+                               {"Delivery", &Tpcc::Delivery},
+                               {"Stock-Level", &Tpcc::StockLevel},
+                               {"Order-Status", &Tpcc::OrderStatus}};
+
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+  auto mix_matrix = std::make_shared<ResultMatrix>(
+      "Figure 16(a) Full-Mix: TPS vs connections", "Scheme");
+  matrices.push_back(mix_matrix);
+  std::map<std::string, std::shared_ptr<ResultMatrix>> txn_matrices;
+  for (const auto& txn : txns) {
+    txn_matrices[txn.label] = std::make_shared<ResultMatrix>(
+        "Figure 16 " + txn.label + ": TPS vs connections", "Scheme");
+    matrices.push_back(txn_matrices[txn.label]);
+  }
+
+  for (const auto& scheme : schemes) {
+    auto inst = std::make_shared<std::shared_ptr<Tpcc>>();
+    auto make = [=] {
+      if (!*inst) {
+        TpccConfig cfg = ScaledTpccConfig(TpccConfig{}, scale);
+                cfg.data_latency = DeviceLatency::TmpfsStack();
+        cfg.mem_tables = scheme.mem_tables;
+        *inst = std::make_shared<Tpcc>(cfg);
+      }
+      return inst->get();
+    };
+    for (int conns : scale.connections) {
+      RegisterCell(
+          "Fig16/Full-Mix/" + scheme.label + "/conns:" +
+              std::to_string(conns),
+          [=, label = scheme.label] {
+            Tpcc* t = make();
+            RunResult r = RunWorkload(conns, scale.duration_ms,
+                                      [t](int tid, Rng& rng, uint64_t* q) {
+                                        return t->RunMix(tid, rng, q);
+                                      });
+            mix_matrix->Set(label, std::to_string(conns), r.Tps());
+            return r;
+          });
+      for (const auto& txn : txns) {
+        RegisterCell(
+            "Fig16/" + txn.label + "/" + scheme.label + "/conns:" +
+                std::to_string(conns),
+            [=, label = scheme.label, method = txn.method,
+             tm = txn_matrices.at(txn.label)] {
+              Tpcc* t = make();
+              RunResult r = RunWorkload(
+                  conns, scale.duration_ms,
+                  [t, method](int tid, Rng& rng, uint64_t* q) {
+                    uint16_t w = t->HomeWarehouse(tid, rng);
+                    return (t->*method)(rng, w, q);
+                  });
+              tm->Set(label, std::to_string(conns), r.Tps());
+              return r;
+            });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

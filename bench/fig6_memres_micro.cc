@@ -1,0 +1,66 @@
+// Reproduces paper Figure 6: memory-resident microbenchmark throughput vs.
+// connections for (a) read-only, (b) read-write, (c) write-only.
+//
+// Expected shape (Section 6.4): with all data memory-resident, CSR
+// maintenance is comparable in cost to the (cheap) record accesses, so the
+// single-engine InnoDB-M can outperform the cross-engine 30-80% InnoDB
+// mixes for read-heavy workloads; the gap closes as writes dominate.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  struct Panel {
+    std::string label;
+    int read_pct;
+  };
+  std::vector<Panel> panels = {
+      {"(a) Read-only", 100}, {"(b) Read-write", 80}, {"(c) Write-only", 0}};
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+
+  for (const auto& panel : panels) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 6" + panel.label +
+            ": memory-resident micro, TPS vs connections",
+        "Scheme");
+    matrices.push_back(matrix);
+    for (const auto& scheme : MemoryResidentSchemes()) {
+      for (int conns : scale.connections) {
+        RegisterCell("Fig6/" + panel.label + "/" + scheme.label + "/conns:" +
+                         std::to_string(conns),
+                     [=, &cache] {
+                       MicroConfig cfg =
+                           ScaledMicroConfig(MicroConfig{}, scale);
+                       cfg.read_pct = panel.read_pct;
+                       cfg.stor_pct = scheme.stor_pct;
+                       cfg.pool_fraction = 2.0;  // memory-resident
+                       MicroWorkload* wl = cache.Get(cfg, scheme.skeena_on);
+                       RunResult r = RunWorkload(
+                           conns, scale.duration_ms,
+                           [wl](int t, Rng& rng, uint64_t* q) {
+                             return wl->RunOneTxn(t, rng, q);
+                           });
+                       matrix->Set(scheme.label, std::to_string(conns),
+                                   r.Tps());
+                       return r;
+                     });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

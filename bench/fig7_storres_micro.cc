@@ -1,0 +1,68 @@
+// Reproduces paper Figure 7: storage-resident microbenchmark throughput vs.
+// connections for (a) read-only, (b) read-write, (c) write-only.
+//
+// Expected shape (Section 6.4): once InnoDB accesses traverse the storage
+// stack (buffer pool misses), Skeena's CSR cost is negligible and
+// performance improves monotonically with the share of accesses served by
+// the memory engine: ERMIA > 30% > 50% > 80% > 100% InnoDB.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  struct Panel {
+    std::string label;
+    int read_pct;
+  };
+  std::vector<Panel> panels = {
+      {"(a) Read-only", 100}, {"(b) Read-write", 80}, {"(c) Write-only", 0}};
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+
+  for (const auto& panel : panels) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 7" + panel.label +
+            ": storage-resident micro, TPS vs connections",
+        "Scheme");
+    matrices.push_back(matrix);
+    for (const auto& scheme : StorageResidentSchemes()) {
+      for (int conns : scale.connections) {
+        RegisterCell("Fig7/" + panel.label + "/" + scheme.label + "/conns:" +
+                         std::to_string(conns),
+                     [=, &cache] {
+                       MicroConfig cfg =
+                           ScaledMicroConfig(MicroConfig{}, scale);
+                       cfg.read_pct = panel.read_pct;
+                       cfg.stor_pct = scheme.stor_pct;
+                       cfg.pool_fraction = 0.1;  // storage-resident
+                       MicroWorkload* wl = cache.Get(
+                           cfg, scheme.skeena_on,
+                           DeviceLatency::TmpfsStack());
+                       RunResult r = RunWorkload(
+                           conns, scale.duration_ms,
+                           [wl](int t, Rng& rng, uint64_t* q) {
+                             return wl->RunOneTxn(t, rng, q);
+                           });
+                       matrix->Set(scheme.label, std::to_string(conns),
+                                   r.Tps());
+                       return r;
+                     });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Figure 8: storage-resident microbenchmark throughput
+// under different read/write ratios (r:w = 8:2, 6:4, 2:8) for (a) ERMIA,
+// (b) 50% InnoDB, (c) 100% InnoDB.
+//
+// Expected shape (Section 6.5): the memory engine barely notices the write
+// ratio; InnoDB-dominated configurations drop substantially as writes grow
+// (lock + undo + page write costs); 50% InnoDB keeps its advantage over
+// 100% InnoDB at every ratio.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  struct Panel {
+    std::string label;
+    bool skeena_on;
+    int stor_pct;
+  };
+  std::vector<Panel> panels = {{"(a) ERMIA", false, 0},
+                               {"(b) 50% InnoDB", true, 50},
+                               {"(c) 100% InnoDB", false, 100}};
+  struct Ratio {
+    std::string label;
+    int read_pct;
+  };
+  std::vector<Ratio> ratios = {
+      {"r:w=8:2", 80}, {"r:w=6:4", 60}, {"r:w=2:8", 20}};
+
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+  for (const auto& panel : panels) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 8" + panel.label + ": storage-resident, TPS vs connections",
+        "Ratio");
+    matrices.push_back(matrix);
+    for (const auto& ratio : ratios) {
+      for (int conns : scale.connections) {
+        RegisterCell("Fig8/" + panel.label + "/" + ratio.label + "/conns:" +
+                         std::to_string(conns),
+                     [=, &cache] {
+                       MicroConfig cfg =
+                           ScaledMicroConfig(MicroConfig{}, scale);
+                       cfg.read_pct = ratio.read_pct;
+                       cfg.stor_pct = panel.stor_pct;
+                       cfg.pool_fraction = 0.1;
+                       MicroWorkload* wl = cache.Get(
+                           cfg, panel.skeena_on,
+                           DeviceLatency::TmpfsStack());
+                       RunResult r = RunWorkload(
+                           conns, scale.duration_ms,
+                           [wl](int t, Rng& rng, uint64_t* q) {
+                             return wl->RunOneTxn(t, rng, q);
+                           });
+                       matrix->Set(ratio.label, std::to_string(conns),
+                                   r.Tps());
+                       return r;
+                     });
+      }
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

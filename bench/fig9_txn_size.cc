@@ -1,0 +1,104 @@
+// Reproduces paper Figure 9: storage-resident workload with 50% InnoDB
+// accesses under varying transaction sizes (10/100/500 queries) and
+// read/write ratios (8:2, 2:8), at one connection and at saturation.
+// Reported in QPS like the paper (longer transactions lower TPS but keep
+// QPS comparable; CSR index recycling keeps up, Section 6.5).
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  MicroCache cache;
+  int max_conns = scale.connections.back();
+  std::vector<int> conn_set = {1, max_conns};
+  std::vector<int> sizes = {10, 100, 500};
+  std::vector<std::pair<std::string, int>> ratios = {{"r:w=8:2", 80},
+                                                     {"r:w=2:8", 20}};
+
+  std::vector<std::shared_ptr<ResultMatrix>> matrices;
+  for (int conns : conn_set) {
+    auto matrix = std::make_shared<ResultMatrix>(
+        "Figure 9: QPS at " + std::to_string(conns) +
+            " connection(s), 50% InnoDB, storage-resident",
+        "Ratio/size");
+    matrices.push_back(matrix);
+    for (const auto& [rlabel, read_pct] : ratios) {
+      for (int size : sizes) {
+        RegisterCell("Fig9/conns:" + std::to_string(conns) + "/" + rlabel +
+                         "/size:" + std::to_string(size),
+                     [=, &cache] {
+                       MicroConfig cfg =
+                           ScaledMicroConfig(MicroConfig{}, scale);
+                       cfg.read_pct = read_pct;
+                       cfg.stor_pct = 50;
+                       cfg.ops_per_txn = size;
+                       cfg.pool_fraction = 0.1;
+                       MicroWorkload* wl = cache.Get(
+                           cfg, true, DeviceLatency::TmpfsStack());
+                       RunResult r = RunWorkload(
+                           conns, scale.duration_ms,
+                           [wl](int t, Rng& rng, uint64_t* q) {
+                             return wl->RunOneTxn(t, rng, q);
+                           });
+                       matrix->Set(rlabel,
+                                   "txn size=" + std::to_string(size),
+                                   r.Qps());
+                       return r;
+                     });
+      }
+    }
+  }
+
+  // Section 6.5 also mixes long and short transactions: a fixed share of
+  // connections run only 500-query transactions; CSR recycling must keep
+  // the partition count bounded and QPS unaffected.
+  auto mix_matrix = std::make_shared<ResultMatrix>(
+      "Figure 9 (companion): long/short mix at " +
+          std::to_string(max_conns) + " connections",
+      "Long-txn connections");
+  for (int long_pct : {0, 10, 20}) {
+    RegisterCell("Fig9/longmix:" + std::to_string(long_pct), [=, &cache] {
+      MicroConfig short_cfg = ScaledMicroConfig(MicroConfig{}, scale);
+      short_cfg.read_pct = 80;
+      short_cfg.stor_pct = 50;
+      short_cfg.pool_fraction = 0.1;
+      MicroWorkload* wl = cache.Get(short_cfg, true);
+      int long_threads = max_conns * long_pct / 100;
+      RunResult r = RunWorkload(
+          max_conns, scale.duration_ms,
+          [wl, long_threads](int t, Rng& rng, uint64_t* q) {
+            // Long connections issue 50 micro-transactions back to back to
+            // emulate a 500-query transaction's CSR lifetime.
+            if (t < long_threads) {
+              Status st;
+              for (int i = 0; i < 50; ++i) {
+                st = wl->RunOneTxn(t, rng, q);
+                if (!st.ok()) return st;
+              }
+              return st;
+            }
+            return wl->RunOneTxn(t, rng, q);
+          });
+      mix_matrix->Set(std::to_string(long_pct) + "%", "QPS", r.Qps());
+      mix_matrix->Set(std::to_string(long_pct) + "%", "CSR partitions",
+                      static_cast<double>(wl->db()->csr().PartitionCount()));
+      return r;
+    });
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  for (const auto& m : matrices) m->Print();
+  mix_matrix->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces paper Table 3: throughput of single-engine microbenchmarks and
+// TPC-C with Skeena turned on (-S suffix) and off, for the memory engine
+// (ERMIA), the memory-resident storage engine (InnoDB-M) and the
+// storage-resident storage engine (InnoDB).
+//
+// Expected shape: the -S variants track their baselines closely (Skeena's
+// overhead for single-engine transactions is negligible; ERMIA-S == ERMIA
+// because anchor-engine transactions never touch the CSR), and
+// ERMIA >> InnoDB-M >> InnoDB as writes increase.
+
+#include "bench/common/bench_harness.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  int conns = scale.connections.back();
+  MicroCache cache;
+  auto matrix = std::make_shared<ResultMatrix>(
+      "Table 3: single-engine throughput (TPS), " + std::to_string(conns) +
+          " connections",
+      "Scheme");
+
+  struct Variant {
+    std::string label;
+    bool skeena_on;
+    int stor_pct;
+    double pool_fraction;  // >1: memory-resident
+  };
+  std::vector<Variant> variants = {
+      {"ERMIA", false, 0, 2.0},      {"ERMIA-S", true, 0, 2.0},
+      {"InnoDB-M", false, 100, 2.0}, {"InnoDB-MS", true, 100, 2.0},
+      {"InnoDB", false, 100, 0.1},   {"InnoDB-S", true, 100, 0.1},
+  };
+  struct Workload {
+    std::string label;
+    int read_pct;
+  };
+  std::vector<Workload> workloads = {
+      {"Read-only", 100}, {"Read-write", 80}, {"Write-only", 0}};
+
+  for (const auto& v : variants) {
+    for (const auto& w : workloads) {
+      RegisterCell("Table3/" + v.label + "/" + w.label, [=, &cache] {
+        MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
+        cfg.read_pct = w.read_pct;
+        cfg.stor_pct = v.stor_pct;
+        cfg.pool_fraction = v.pool_fraction;
+        // Storage-resident variants pay the storage-stack page cost.
+        DeviceLatency latency = v.pool_fraction < 1.0
+                                    ? DeviceLatency::TmpfsStack()
+                                    : DeviceLatency::Tmpfs();
+        MicroWorkload* wl = cache.Get(cfg, v.skeena_on, latency);
+        RunResult r = RunWorkload(
+            conns, scale.duration_ms,
+            [wl](int t, Rng& rng, uint64_t* q) {
+              return wl->RunOneTxn(t, rng, q);
+            });
+        matrix->Set(v.label, w.label, r.Tps());
+        return r;
+      });
+    }
+    // TPC-C column: all tables in one engine per the variant.
+    RegisterCell("Table3/" + v.label + "/TPC-C", [=] {
+      TpccConfig cfg = ScaledTpccConfig(TpccConfig{}, scale);
+      cfg.skeena_on = v.skeena_on;
+      cfg.pool_fraction = v.pool_fraction;
+      if (v.pool_fraction < 1.0) {
+        cfg.data_latency = DeviceLatency::TmpfsStack();
+      }
+      if (v.stor_pct == 0) {
+        for (const auto& t : Tpcc::PlacementOrder()) cfg.mem_tables.insert(t);
+      }
+      Tpcc tpcc(cfg);
+      RunResult r = RunWorkload(
+          conns, scale.duration_ms,
+          [&tpcc](int t, Rng& rng, uint64_t* q) {
+            return tpcc.RunMix(t, rng, q);
+          });
+      matrix->Set(v.label, "TPC-C", r.Tps());
+      return r;
+    });
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  matrix->Print();
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+#ifndef SKEENA_COMMON_ACTIVE_REGISTRY_H_
+#define SKEENA_COMMON_ACTIVE_REGISTRY_H_
+
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+#include "common/spin_latch.h"
+#include "common/types.h"
+
+namespace skeena {
+
+/// Tracks the snapshots in use by active transactions so garbage collectors
+/// (memdb version pruning, CSR partition recycling — paper Section 4.4) can
+/// compute the oldest snapshot still needed.
+///
+/// Each worker thread claims one padded slot on first use. Registration
+/// protocol: the thread stores kAcquiringSentinel, *then* reads the engine
+/// clock, then stores the snapshot. A concurrent MinActive() that observes
+/// the sentinel may safely ignore that slot: the registrant's eventual
+/// snapshot is drawn from the clock *after* the scan began, so it can never
+/// be older than the minimum the scan computes.
+class ActiveSnapshotRegistry {
+ public:
+  static constexpr Timestamp kEmpty = 0;
+  static constexpr Timestamp kAcquiringSentinel = kMaxTimestamp;
+
+  explicit ActiveSnapshotRegistry(size_t max_slots = 1024)
+      : slots_(max_slots) {}
+
+  /// Claims a slot for the calling thread (stable across calls).
+  size_t ClaimSlot() {
+    size_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    assert(slot < slots_.size());
+    return slot;
+  }
+
+  /// Acquires a slot from the free list (or claims a fresh one). Pair with
+  /// Release(). Used per-transaction rather than per-thread.
+  size_t Acquire() {
+    free_latch_.lock();
+    if (!free_.empty()) {
+      size_t slot = free_.back();
+      free_.pop_back();
+      free_latch_.unlock();
+      return slot;
+    }
+    free_latch_.unlock();
+    return ClaimSlot();
+  }
+
+  void Release(size_t slot) {
+    Clear(slot);
+    free_latch_.lock();
+    free_.push_back(slot);
+    free_latch_.unlock();
+  }
+
+  /// Marks the slot as "snapshot being acquired". Must be followed by
+  /// SetSnapshot() or Clear().
+  void BeginAcquire(size_t slot) {
+    slots_[slot].value.store(kAcquiringSentinel, std::memory_order_seq_cst);
+  }
+
+  void SetSnapshot(size_t slot, Timestamp snap) {
+    slots_[slot].value.store(snap, std::memory_order_seq_cst);
+  }
+
+  void Clear(size_t slot) {
+    slots_[slot].value.store(kEmpty, std::memory_order_release);
+  }
+
+  /// Oldest snapshot of any registered transaction, or `fallback` when none
+  /// is active. Slots in the acquiring state are ignored (see class docs).
+  Timestamp MinActive(Timestamp fallback) const {
+    Timestamp min = kMaxTimestamp;
+    size_t limit = next_slot_.load(std::memory_order_acquire);
+    if (limit > slots_.size()) limit = slots_.size();
+    for (size_t i = 0; i < limit; ++i) {
+      Timestamp v = slots_[i].value.load(std::memory_order_seq_cst);
+      if (v == kEmpty || v == kAcquiringSentinel) continue;
+      if (v < min) min = v;
+    }
+    return min == kMaxTimestamp ? fallback : min;
+  }
+
+ private:
+  std::vector<Padded<std::atomic<Timestamp>>> slots_;
+  std::atomic<size_t> next_slot_{0};
+  SpinLatch free_latch_;
+  std::vector<size_t> free_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_ACTIVE_REGISTRY_H_

@@ -1,0 +1,128 @@
+#ifndef SKEENA_COMMON_ENCODING_H_
+#define SKEENA_COMMON_ENCODING_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace skeena {
+
+/// Fixed-width, binary-comparable index key.
+///
+/// All engine indexes and the CSR use 16-byte keys whose byte-wise
+/// lexicographic order equals the logical key order. Integers are encoded
+/// big-endian; composite keys append fields most-significant first. 16 bytes
+/// is enough for every key in the paper's workloads (YCSB-like row ids and
+/// all TPC-C primary/secondary keys).
+using Key = std::array<uint8_t, 16>;
+
+inline constexpr Key kMinKey = {};
+
+inline Key MaxKey() {
+  Key k;
+  k.fill(0xff);
+  return k;
+}
+
+/// Incrementally builds a binary-comparable Key from big-endian fields.
+/// Unused trailing bytes stay zero so that a prefix-only key is the smallest
+/// key with that prefix (useful as a range-scan lower bound).
+class KeyBuilder {
+ public:
+  KeyBuilder() { key_.fill(0); }
+
+  KeyBuilder& AppendU8(uint8_t v) {
+    key_[pos_++] = v;
+    return *this;
+  }
+
+  KeyBuilder& AppendU16(uint16_t v) {
+    key_[pos_++] = static_cast<uint8_t>(v >> 8);
+    key_[pos_++] = static_cast<uint8_t>(v);
+    return *this;
+  }
+
+  KeyBuilder& AppendU32(uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      key_[pos_++] = static_cast<uint8_t>(v >> shift);
+    }
+    return *this;
+  }
+
+  KeyBuilder& AppendU64(uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      key_[pos_++] = static_cast<uint8_t>(v >> shift);
+    }
+    return *this;
+  }
+
+  /// Appends a 64-bit stable hash of `s` (FNV-1a). Used to index variable
+  /// length strings (e.g., TPC-C customer last names) inside the fixed-width
+  /// key space; equal strings map to equal bytes, enabling prefix scans.
+  KeyBuilder& AppendHash64(std::string_view s) {
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return AppendU64(h);
+  }
+
+  const Key& Build() const { return key_; }
+  size_t size() const { return pos_; }
+
+ private:
+  Key key_;
+  size_t pos_ = 0;
+};
+
+/// Convenience: a key whose first 8 bytes encode `v` big-endian.
+inline Key MakeKey(uint64_t v) {
+  KeyBuilder b;
+  b.AppendU64(v);
+  return b.Build();
+}
+
+/// Decodes the first 8 bytes of a key as a big-endian uint64.
+inline uint64_t KeyPrefixU64(const Key& k) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | k[i];
+  return v;
+}
+
+/// True if `k` starts with the first `prefix_len` bytes of `prefix`.
+inline bool KeyHasPrefix(const Key& k, const Key& prefix, size_t prefix_len) {
+  return std::memcmp(k.data(), prefix.data(), prefix_len) == 0;
+}
+
+// -- Little helpers for serializing row payloads ----------------------------
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_ENCODING_H_

@@ -1,0 +1,33 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace skeena {
+
+int64_t GetEnvInt(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtoll(v, nullptr, 10);
+}
+
+double GetEnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtod(v, nullptr);
+}
+
+std::string GetEnvString(const char* name, const std::string& default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return v;
+}
+
+bool GetEnvBool(const char* name, bool default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "no") == 0 || std::strcmp(v, "off") == 0);
+}
+
+}  // namespace skeena

@@ -1,0 +1,19 @@
+#ifndef SKEENA_COMMON_ENV_H_
+#define SKEENA_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace skeena {
+
+/// Environment-variable helpers used by the benchmark harness so that every
+/// experiment can be scaled up toward the paper's full parameters
+/// (SKEENA_BENCH_MS, SKEENA_BENCH_CONNS, ...) without recompiling.
+int64_t GetEnvInt(const char* name, int64_t default_value);
+double GetEnvDouble(const char* name, double default_value);
+std::string GetEnvString(const char* name, const std::string& default_value);
+bool GetEnvBool(const char* name, bool default_value);
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_ENV_H_

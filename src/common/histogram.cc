@@ -1,0 +1,81 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace skeena {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+// Bucketing: 16 sub-buckets per power of two. For a value v with highest set
+// bit b, the bucket is 16*b + (next 4 bits). This gives <= 6.25% relative
+// bucket width everywhere.
+size_t Histogram::BucketFor(uint64_t v) {
+  if (v < 16) return static_cast<size_t>(v);
+  int b = 63 - std::countl_zero(v);
+  uint64_t sub = (v >> (b - 4)) & 0xf;
+  size_t idx = static_cast<size_t>(b - 3) * 16 + static_cast<size_t>(sub);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketValue(size_t bucket) {
+  if (bucket < 16) return bucket;
+  size_t b = bucket / 16 + 3;
+  uint64_t sub = bucket % 16;
+  // Upper edge of the bucket.
+  return ((16ull + sub + 1) << (b - 4)) - 1;
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[BucketFor(value_ns)]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (rank >= count_) rank = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return std::min(BucketValue(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms",
+                static_cast<unsigned long long>(count_), Mean() / 1e6,
+                static_cast<double>(Percentile(50)) / 1e6,
+                static_cast<double>(Percentile(95)) / 1e6,
+                static_cast<double>(Percentile(99)) / 1e6);
+  return buf;
+}
+
+}  // namespace skeena

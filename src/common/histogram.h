@@ -1,0 +1,51 @@
+#ifndef SKEENA_COMMON_HISTOGRAM_H_
+#define SKEENA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skeena {
+
+/// Log-bucketed latency histogram (nanosecond samples).
+///
+/// Buckets grow geometrically (~4% per bucket) so percentile error stays
+/// bounded across the ns..seconds range. One histogram per worker thread is
+/// populated without synchronization, then Merge()d by the harness — the same
+/// scheme SysBench uses for the latency results in paper Figure 12.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Returns the approximate value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  /// Renders count/mean/p50/p95/p99 in milliseconds for reports.
+  std::string Summary() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 512;
+  // Maps a value to its bucket index (monotone in value).
+  static size_t BucketFor(uint64_t value_ns);
+  // Representative (upper-bound) value of a bucket.
+  static uint64_t BucketValue(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_HISTOGRAM_H_

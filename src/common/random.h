@@ -1,0 +1,104 @@
+#ifndef SKEENA_COMMON_RANDOM_H_
+#define SKEENA_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace skeena {
+
+/// Fast, seedable PRNG (xorshift128+). One instance per worker thread; not
+/// thread-safe by design.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull) {
+    // SplitMix64 seeding to avoid weak states.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      s_[i] = x ^ (x >> 31);
+    }
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// TPC-C NURand non-uniform distribution (clause 2.1.6).
+  uint64_t NURand(uint64_t a, uint64_t x, uint64_t y, uint64_t c) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+ private:
+  uint64_t s_[2];
+};
+
+/// YCSB-style Zipfian generator over [0, n). Uses the Gray et al. rejection
+/// inversion approach with precomputed zeta, matching the generator used by
+/// SysBench/YCSB for the skewed-access experiments (paper Section 6.6).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), n_(n), theta_(theta) {
+    assert(n > 0);
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  Rng rng_;
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_RANDOM_H_

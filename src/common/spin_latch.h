@@ -1,0 +1,57 @@
+#ifndef SKEENA_COMMON_SPIN_LATCH_H_
+#define SKEENA_COMMON_SPIN_LATCH_H_
+
+#include <atomic>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace skeena {
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Tiny test-and-test-and-set spin latch. Used where hold times are a few
+/// dozen instructions (version-chain installs, allocation lists); everything
+/// longer uses std::mutex / std::shared_mutex.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) CpuRelax();
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool is_locked() const { return locked_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Pads T to a cache line to avoid false sharing in per-thread arrays.
+template <typename T>
+struct alignas(64) Padded {
+  T value{};
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_SPIN_LATCH_H_

@@ -1,0 +1,140 @@
+#ifndef SKEENA_COMMON_STATUS_H_
+#define SKEENA_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace skeena {
+
+/// Error categories used throughout the library.
+///
+/// `kAborted` covers engine-level concurrency-control aborts (write-write
+/// conflicts, failed OCC validation). `kSkeenaAbort` is reserved for aborts
+/// caused by the cross-engine coordinator itself: a snapshot-selection or
+/// commit-check failure in the CSR (paper Section 4.2), or a mapping that
+/// would land in a sealed CSR partition (Section 4.3). Keeping the two apart
+/// lets the abort-rate experiments (Section 6.9) attribute aborts precisely.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kAborted,
+  kSkeenaAbort,
+  kDeadlock,
+  kTimedOut,
+  kBusy,
+  kInvalidArgument,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lightweight status object in the RocksDB/Arrow style: cheap to pass by
+/// value, `ok()` on the hot path is a single byte comparison, and messages
+/// are only materialized on error paths.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status SkeenaAbort(std::string msg = "") {
+    return Status(StatusCode::kSkeenaAbort, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsSkeenaAbort() const { return code_ == StatusCode::kSkeenaAbort; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+
+  /// True for any transaction-abort flavour (engine, coordinator, deadlock).
+  /// Callers use this to decide whether a transaction can simply be retried.
+  bool IsAnyAbort() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kSkeenaAbort ||
+           code_ == StatusCode::kDeadlock || code_ == StatusCode::kTimedOut;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-Status result, in the Arrow style. `Result<T>` keeps error
+/// propagation explicit without exceptions on database hot paths.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace skeena
+
+/// Propagates a non-OK Status out of the current function.
+#define SKEENA_RETURN_NOT_OK(expr)              \
+  do {                                          \
+    ::skeena::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // SKEENA_COMMON_STATUS_H_

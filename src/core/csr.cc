@@ -1,0 +1,322 @@
+#include "core/csr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace skeena {
+
+namespace {
+constexpr size_t kNpos = ~size_t{0};
+constexpr int kMaxRetries = 16;
+
+// Comparator for (key, value) pairs by key only.
+struct KeyLess {
+  bool operator()(const std::pair<Timestamp, Timestamp>& a,
+                  Timestamp key) const {
+    return a.first < key;
+  }
+  bool operator()(Timestamp key,
+                  const std::pair<Timestamp, Timestamp>& a) const {
+    return key < a.first;
+  }
+};
+}  // namespace
+
+SnapshotRegistry::SnapshotRegistry(Options options) : options_(options) {}
+
+SnapshotRegistry::~SnapshotRegistry() = default;
+
+size_t SnapshotRegistry::LocatePartition(Timestamp snap) const {
+  // Entries in the list are sorted by min_key; search backward for the
+  // first partition whose range starts at or below `snap` (Section 4.3).
+  if (partitions_.empty()) return kNpos;
+  if (snap < floor_) return kNpos;  // its partition was recycled
+  for (size_t i = partitions_.size(); i-- > 0;) {
+    if (partitions_[i]->min_key <= snap) return i;
+  }
+  // Older than the first-ever mapping but nothing recycled beneath it: the
+  // first partition's range extends down to the floor.
+  return 0;
+}
+
+SnapshotRegistry::MapResult SnapshotRegistry::MapLocked(size_t idx,
+                                                        Timestamp key,
+                                                        Timestamp value) {
+  Partition& p = *partitions_[idx];
+  bool is_last = idx + 1 == partitions_.size();
+  auto it = std::lower_bound(p.entries.begin(), p.entries.end(), key,
+                             KeyLess{});
+  if (it != p.entries.end() && it->first == key) {
+    if (it->second >= value) return MapResult::kOk;  // already covered
+    if (!is_last) {
+      // Raising a value is a new mapping; sealed partitions are immutable.
+      return MapResult::kSealed;
+    }
+    it->second = value;
+    return MapResult::kOk;
+  }
+  if (!is_last) return MapResult::kSealed;
+  if (!PartitionFull(p)) {
+    p.entries.insert(it, {key, value});
+    if (key < p.min_key) p.min_key = key;
+    return MapResult::kOk;
+  }
+  // The open partition is full: a fresh key beyond its range moves to a new
+  // partition; anything inside its range can no longer be mapped.
+  if (key > p.entries.back().first) return MapResult::kNeedNewPartition;
+  return MapResult::kSealed;
+}
+
+void SnapshotRegistry::CreatePartition(Timestamp min_key) {
+  std::unique_lock<std::shared_mutex> list(list_mu_);
+  if (partitions_.empty()) {
+    auto p = std::make_unique<Partition>();
+    p->min_key = min_key;
+    partitions_.push_back(std::move(p));
+    partitions_created_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Partition* last = partitions_.back().get();
+  std::lock_guard<std::mutex> pl(last->mu);
+  // Re-check under the exclusive latch: another thread may have created the
+  // partition already, or the open partition may have room after all.
+  if (!PartitionFull(*last) || min_key <= last->entries.back().first) {
+    return;  // retry will re-locate
+  }
+  auto p = std::make_unique<Partition>();
+  p->min_key = min_key;
+  partitions_.push_back(std::move(p));
+  partitions_created_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<Timestamp> SnapshotRegistry::SelectSnapshot(
+    Timestamp anchor_snap, const std::function<Timestamp()>& latest_other) {
+  TickAccess();
+  for (int retry = 0; retry < kMaxRetries; ++retry) {
+    bool need_partition = false;
+    {
+      std::shared_lock<std::shared_mutex> list(list_mu_);
+      if (partitions_.empty()) {
+        need_partition = true;
+      } else {
+        size_t idx = LocatePartition(anchor_snap);
+        if (idx == kNpos) {
+          // The partition that covered this (old) snapshot was recycled.
+          select_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort("anchor snapshot predates CSR");
+        }
+        Partition& p = *partitions_[idx];
+        bool is_last = idx + 1 == partitions_.size();
+        std::unique_lock<std::mutex> pl;
+        if (is_last) pl = std::unique_lock<std::mutex>(p.mu);
+
+        auto it = std::upper_bound(p.entries.begin(), p.entries.end(),
+                                   anchor_snap, KeyLess{});
+        Timestamp selected;
+        bool have_pred = it != p.entries.begin();
+        if (have_pred) {
+          // Algorithm 1 line 9: latest snapshot mapped to a key <= ours.
+          selected = std::prev(it)->second;
+        } else {
+          // No candidate: use the latest other-engine snapshot (Algorithm 1
+          // line 6) — but stay strictly below any mapping made at a *newer*
+          // anchor position: if that successor is a commit, reading at or
+          // past its other-engine timestamp would show us a transaction
+          // whose anchor effects are ahead of our snapshot (DSI Rule 8 /
+          // the Figure 2(a) skew). Successor mappings only exist here in
+          // the rare window where this partition was just created.
+          selected = latest_other();
+          if (it != p.entries.end()) {
+            selected = std::min(selected, it->second - 1);
+          } else if (idx + 1 < partitions_.size()) {
+            Partition& succ = *partitions_[idx + 1];
+            bool succ_last = idx + 2 == partitions_.size();
+            std::unique_lock<std::mutex> sl;
+            if (succ_last) sl = std::unique_lock<std::mutex>(succ.mu);
+            if (!succ.entries.empty()) {
+              selected = std::min(selected, succ.entries.front().second - 1);
+            }
+          }
+        }
+
+        if (!is_last) {
+          // Sealed partitions are immutable, so no commit can ever land
+          // between our predecessor and our snapshot — the mapping that
+          // Algorithm 1 line 10 would insert is already implied. This is
+          // how inactive indexes "continue to serve existing transactions
+          // for snapshot selection" (Section 4.3). Without a predecessor
+          // the selection would need a new mapping: abort.
+          if (have_pred) {
+            mappings_.fetch_add(1, std::memory_order_relaxed);
+            return selected;
+          }
+          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
+          select_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+        }
+
+        MapResult r = MapLocked(idx, anchor_snap, selected);
+        if (r == MapResult::kOk) {
+          mappings_.fetch_add(1, std::memory_order_relaxed);
+          return selected;
+        }
+        if (r == MapResult::kSealed) {
+          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
+          select_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+        }
+        need_partition = true;
+      }
+    }
+    if (need_partition) CreatePartition(anchor_snap);
+  }
+  select_aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::SkeenaAbort("CSR retry limit exceeded");
+}
+
+Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
+                                     Timestamp other_cts,
+                                     bool anchor_engine_wrote,
+                                     bool other_engine_wrote) {
+  TickAccess();
+  for (int retry = 0; retry < kMaxRetries; ++retry) {
+    bool need_partition = false;
+    {
+      std::shared_lock<std::shared_mutex> list(list_mu_);
+      if (partitions_.empty()) {
+        need_partition = true;
+      } else {
+        size_t idx = LocatePartition(anchor_cts);
+        if (idx == kNpos) {
+          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
+          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort("anchor commit predates CSR");
+        }
+        Partition& p = *partitions_[idx];
+        bool is_last = idx + 1 == partitions_.size();
+        std::unique_lock<std::mutex> pl;
+        if (is_last) pl = std::unique_lock<std::mutex>(p.mu);
+
+        // Algorithm 2: bounds from strict neighbors. Entries at exactly
+        // anchor_cts are begin-timestamp ties (allowed, Rule 4) and do not
+        // constrain.
+        Timestamp low = 0;
+        Timestamp high = kMaxTimestamp;
+        auto it = std::lower_bound(p.entries.begin(), p.entries.end(),
+                                   anchor_cts, KeyLess{});
+        // Same-key entry: a reader at exactly our anchor commit timestamp
+        // sees our anchor writes; if we really wrote in both engines, its
+        // other-engine view must already cover our other-engine commit.
+        if (anchor_engine_wrote && other_engine_wrote &&
+            it != p.entries.end() && it->first == anchor_cts &&
+            it->second < other_cts) {
+          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort(
+              "commit check failed: reader tie at anchor commit");
+        }
+        if (it != p.entries.begin()) {
+          low = std::prev(it)->second;
+        } else if (idx > 0) {
+          // Boundary hardening: the true predecessor lives in the previous
+          // (sealed, immutable) partition.
+          const Partition& pred = *partitions_[idx - 1];
+          if (!pred.entries.empty()) low = pred.entries.back().second;
+        }
+        auto succ = it;
+        if (succ != p.entries.end() && succ->first == anchor_cts) ++succ;
+        if (succ != p.entries.end()) {
+          high = succ->second;
+        } else if (idx + 1 < partitions_.size()) {
+          Partition& nextp = *partitions_[idx + 1];
+          bool next_last = idx + 2 == partitions_.size();
+          std::unique_lock<std::mutex> nl;
+          if (next_last) nl = std::unique_lock<std::mutex>(nextp.mu);
+          if (!nextp.entries.empty()) high = nextp.entries.front().second;
+        }
+
+        bool low_violated =
+            other_engine_wrote ? other_cts <= low : other_cts < low;
+        if ((low != 0 && low_violated) || other_cts > high) {
+          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort("commit check failed");
+        }
+
+        MapResult r = MapLocked(idx, anchor_cts, other_cts);
+        if (r == MapResult::kOk) {
+          mappings_.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        }
+        if (r == MapResult::kSealed) {
+          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
+          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
+          return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+        }
+        need_partition = true;
+      }
+    }
+    if (need_partition) CreatePartition(anchor_cts);
+  }
+  commit_aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::SkeenaAbort("CSR retry limit exceeded");
+}
+
+void SnapshotRegistry::Recycle() {
+  if (!min_anchor_provider_) return;
+  Timestamp min_snap = min_anchor_provider_();
+  std::unique_lock<std::shared_mutex> list(list_mu_);
+  size_t drop = 0;
+  // A partition covers [min_key, next.min_key); it is stale once the next
+  // partition's range already starts at or below the oldest active anchor
+  // snapshot. The open (last) partition is never dropped.
+  while (drop + 1 < partitions_.size() &&
+         partitions_[drop + 1]->min_key <= min_snap) {
+    drop++;
+  }
+  if (drop > 0) {
+    partitions_.erase(partitions_.begin(),
+                      partitions_.begin() + static_cast<long>(drop));
+    partitions_recycled_.fetch_add(drop, std::memory_order_relaxed);
+    floor_ = partitions_.front()->min_key;
+  }
+}
+
+void SnapshotRegistry::TickAccess() {
+  uint64_t a = accesses_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.recycle_period != 0 && a % options_.recycle_period == 0) {
+    Recycle();
+  }
+}
+
+size_t SnapshotRegistry::PartitionCount() const {
+  std::shared_lock<std::shared_mutex> list(list_mu_);
+  return partitions_.size();
+}
+
+size_t SnapshotRegistry::EntryCount() const {
+  std::shared_lock<std::shared_mutex> list(list_mu_);
+  size_t n = 0;
+  for (const auto& p : partitions_) {
+    if (p.get() == partitions_.back().get()) {
+      std::lock_guard<std::mutex> pl(p->mu);
+      n += p->entries.size();
+    } else {
+      n += p->entries.size();
+    }
+  }
+  return n;
+}
+
+SnapshotRegistry::Stats SnapshotRegistry::stats() const {
+  Stats s;
+  s.accesses = accesses_.load(std::memory_order_relaxed);
+  s.mappings = mappings_.load(std::memory_order_relaxed);
+  s.select_aborts = select_aborts_.load(std::memory_order_relaxed);
+  s.commit_aborts = commit_aborts_.load(std::memory_order_relaxed);
+  s.sealed_aborts = sealed_aborts_.load(std::memory_order_relaxed);
+  s.partitions_created = partitions_created_.load(std::memory_order_relaxed);
+  s.partitions_recycled =
+      partitions_recycled_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace skeena

@@ -1,0 +1,165 @@
+#ifndef SKEENA_CORE_CSR_H_
+#define SKEENA_CORE_CSR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace skeena {
+
+/// Cross-engine Snapshot Registry (paper Section 4.2-4.4).
+///
+/// The CSR records mappings between snapshots (commit timestamps) in the
+/// anchor engine and snapshots in the other engine, and is consulted
+///  (1) when a transaction crosses into the other engine, to select a
+///      snapshot that cannot produce skewed reads (Algorithm 1), and
+///  (2) at commit, to verify that adding the new (anchor_cts, other_cts)
+///      pair keeps the registry free of skew for future transactions
+///      (Algorithm 2).
+///
+/// Design notes mirroring the paper:
+///  * One-to-many mappings keyed by anchor snapshots (the anchor-engine
+///    optimization of Section 4.3). We additionally collapse values at the
+///    same key to their maximum: Algorithm 1 only ever uses the max value
+///    at keys <= s, and Algorithm 2's bounds come from strict neighbors, so
+///    smaller same-key values are dead weight. This is what keeps the
+///    "InnoDB-only under Skeena" workload at a single CSR entry
+///    (Section 6.3).
+///  * Multi-index: the registry is a list of partitions, each covering a
+///    disjoint anchor-snapshot range with a bounded number of keys. Only
+///    the newest partition accepts inserts; needing a new mapping in a
+///    sealed partition aborts the transaction (rare, quantified in
+///    Section 6.9). Recycling drops whole partitions older than the oldest
+///    active anchor snapshot.
+///  * Concurrency: reader-writer latch on the partition list, a mutex per
+///    partition (Section 4.4) — cheap relative to the slow engine's storage
+///    stack, which is the fast-slow bet the paper makes.
+class SnapshotRegistry {
+ public:
+  struct Options {
+    /// Keys per partition ("1000 entries per index" in Section 6.5).
+    size_t partition_capacity = 1000;
+    /// Attempt recycling every N CSR accesses ("once per 5000 accesses",
+    /// Section 4.4). 0 disables automatic recycling.
+    uint64_t recycle_period = 5000;
+  };
+
+  struct Stats {
+    uint64_t accesses = 0;
+    uint64_t mappings = 0;
+    uint64_t select_aborts = 0;   // snapshot selection failed
+    uint64_t commit_aborts = 0;   // Algorithm 2 bounds violated
+    uint64_t sealed_aborts = 0;   // mapping needed in a sealed partition
+    uint64_t partitions_created = 0;
+    uint64_t partitions_recycled = 0;
+  };
+
+  explicit SnapshotRegistry(Options options);
+  ~SnapshotRegistry();
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Algorithm 1: selects the other-engine snapshot for a transaction whose
+  /// anchor snapshot is `anchor_snap`. `latest_other` supplies the latest
+  /// snapshot in the other engine for the no-candidate case. Returns
+  /// kSkeenaAbort if the required mapping cannot be recorded.
+  Result<Timestamp> SelectSnapshot(Timestamp anchor_snap,
+                                   const std::function<Timestamp()>& latest_other);
+
+  /// Algorithm 2: commit check + mapping installation for a cross-engine
+  /// transaction committing with the given pair of commit timestamps.
+  ///
+  /// The `*_wrote` flags distinguish real commits from read-only
+  /// sub-transactions whose "commit timestamp" is a borrowed view / begin
+  /// bound; they type the bound comparisons:
+  ///
+  ///  * Low bound, `other_engine_wrote`: a mapping at a strictly earlier
+  ///    anchor position with value v means a reader there already observed
+  ///    the other engine through v; committing other-engine effects *at* v
+  ///    would expose them to that reader while the anchor effects stay
+  ///    ahead of it (Figure 2 skew) — so a real commit requires
+  ///    other_cts > low, while a read-only timestamp may equal it.
+  ///  * Equal anchor keys, `anchor_engine_wrote && other_engine_wrote`:
+  ///    a reader whose anchor snapshot equals our anchor commit timestamp
+  ///    *does* see our anchor writes (visibility is inclusive), so a
+  ///    same-key mapping with value < other_cts is a reader that will see
+  ///    our anchor half but not our other half — abort. Anchor-read-only
+  ///    ties stay unconstrained (DSI Rule 4 allows <=; there is nothing of
+  ///    ours to see in the anchor).
+  Status CommitCheck(Timestamp anchor_cts, Timestamp other_cts,
+                     bool anchor_engine_wrote = true,
+                     bool other_engine_wrote = true);
+
+  /// Provider of the oldest anchor snapshot still in use; partitions
+  /// entirely below it are recycled.
+  void SetMinAnchorProvider(std::function<Timestamp()> provider) {
+    min_anchor_provider_ = std::move(provider);
+  }
+
+  /// Drops fully-stale partitions now (also runs automatically every
+  /// recycle_period accesses).
+  void Recycle();
+
+  size_t PartitionCount() const;
+  size_t EntryCount() const;
+  Stats stats() const;
+
+ private:
+  struct Partition {
+    Timestamp min_key;  // first key mapped into this partition
+    std::mutex mu;
+    // Sorted by key; unique keys; value = max other-engine snapshot mapped
+    // to the key.
+    std::vector<std::pair<Timestamp, Timestamp>> entries;
+  };
+
+  enum class MapResult { kOk, kNeedNewPartition, kSealed };
+
+  // Locates the partition covering `snap` (last partition whose min_key <=
+  // snap). Caller holds list_mu_ (shared or exclusive). Returns index or
+  // npos.
+  size_t LocatePartition(Timestamp snap) const;
+
+  bool PartitionFull(const Partition& p) const {
+    return p.entries.size() >= options_.partition_capacity;
+  }
+
+  // Inserts/updates (key, value) in partition `idx`. Caller holds the list
+  // latch (shared) and the partition mutex.
+  MapResult MapLocked(size_t idx, Timestamp key, Timestamp value);
+
+  // Creates a new open partition starting at `min_key` (takes the list
+  // latch in exclusive mode internally).
+  void CreatePartition(Timestamp min_key);
+
+  void TickAccess();
+
+  Options options_;
+  std::function<Timestamp()> min_anchor_provider_;
+
+  mutable std::shared_mutex list_mu_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  // Smallest anchor snapshot still covered: recycling raises it; snapshots
+  // below it abort (their partitions are gone).
+  Timestamp floor_ = 0;
+
+  std::atomic<uint64_t> accesses_{0};
+  std::atomic<uint64_t> mappings_{0};
+  std::atomic<uint64_t> select_aborts_{0};
+  std::atomic<uint64_t> commit_aborts_{0};
+  std::atomic<uint64_t> sealed_aborts_{0};
+  std::atomic<uint64_t> partitions_created_{0};
+  std::atomic<uint64_t> partitions_recycled_{0};
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_CORE_CSR_H_

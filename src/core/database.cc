@@ -1,0 +1,177 @@
+#include "core/database.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/transaction.h"
+#include "log/log_records.h"
+
+namespace skeena {
+
+namespace {
+
+std::unique_ptr<StorageDevice> MakeDevice(const std::string& data_dir,
+                                          const std::string& name,
+                                          DeviceLatency latency) {
+  if (data_dir.empty()) {
+    return std::make_unique<MemDevice>(latency);
+  }
+  std::filesystem::create_directories(data_dir);
+  auto dev = FileDevice::Open(data_dir + "/" + name, latency);
+  // Database construction cannot fail gracefully here; fall back to memory
+  // on I/O error (surfaced via the device type in tests).
+  if (!dev.ok()) return std::make_unique<MemDevice>(latency);
+  return std::move(dev.value());
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)), csr_(options_.csr) {
+  // Table-space devices for stordb.
+  if (!options_.data_dir.empty() && !options_.stor.device_factory) {
+    std::string dir = options_.data_dir;
+    DeviceLatency latency = options_.stor.data_latency;
+    options_.stor.device_factory =
+        [dir, latency](const std::string& name) {
+          return MakeDevice(dir, "table_" + name + ".tbl", latency);
+        };
+  }
+
+  mem_owned_ = std::make_unique<MemEngineAdapter>(
+      MakeDevice(options_.data_dir, "mem.log", options_.log_latency),
+      options_.mem);
+  stor_owned_ = std::make_unique<StorEngineAdapter>(
+      MakeDevice(options_.data_dir, "stor.log", options_.log_latency),
+      options_.stor);
+  mem_ = mem_owned_.get();
+  stor_ = stor_owned_.get();
+  engines_[static_cast<int>(EngineKind::kMem)] = mem_;
+  engines_[static_cast<int>(EngineKind::kStor)] = stor_;
+  anchor_index_ = static_cast<int>(options_.anchor);
+
+  csr_.SetMinAnchorProvider([this] {
+    return anchor_registry_.MinActive(
+        engines_[anchor_index_]->LatestSnapshot());
+  });
+
+  pipeline_ = std::make_unique<CommitPipeline>(options_.pipeline, engines_[0],
+                                               engines_[1]);
+
+  LoadCatalog();
+}
+
+Database::~Database() = default;
+
+Result<TableHandle> Database::CreateTable(const std::string& name,
+                                          EngineKind home,
+                                          size_t max_value_size) {
+  std::lock_guard<std::mutex> guard(catalog_mu_);
+  if (catalog_.count(name) != 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  TableHandle h;
+  h.name = name;
+  h.home = home;
+  h.engine_index = static_cast<int>(home);
+  h.local_id = engines_[h.engine_index]->CreateTable(name, max_value_size);
+  catalog_[name] = h;
+  PersistCatalogEntry(h, max_value_size);
+  return h;
+}
+
+Result<TableHandle> Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(catalog_mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return it->second;
+}
+
+std::unique_ptr<Transaction> Database::Begin() {
+  return Begin(options_.default_isolation);
+}
+
+std::unique_ptr<Transaction> Database::Begin(IsolationLevel iso) {
+  return std::unique_ptr<Transaction>(new Transaction(this, iso));
+}
+
+void Database::PersistCatalogEntry(const TableHandle& h,
+                                   size_t max_value_size) {
+  if (options_.data_dir.empty()) return;
+  std::ofstream out(options_.data_dir + "/catalog.txt", std::ios::app);
+  out << h.name << ' ' << static_cast<int>(h.home) << ' ' << max_value_size
+      << '\n';
+}
+
+void Database::LoadCatalog() {
+  if (options_.data_dir.empty()) return;
+  std::ifstream in(options_.data_dir + "/catalog.txt");
+  if (!in.good()) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string name;
+    int home = 0;
+    size_t max_value = 0;
+    if (!(ls >> name >> home >> max_value)) continue;
+    TableHandle h;
+    h.name = name;
+    h.home = static_cast<EngineKind>(home);
+    h.engine_index = home;
+    h.local_id = engines_[home]->CreateTable(name, max_value);
+    catalog_[name] = h;
+  }
+}
+
+Status Database::Recover() {
+  // Pair commit-begin / commit-end records across both logs: a cross-
+  // engine transaction is durably committed only if its commit-end made it
+  // to *both* logs; everything else is rolled back (its results were never
+  // released to clients — they were still gated on the commit queue).
+  // Paper Section 4.6.
+  std::set<GlobalTxnId> cross_seen;
+  std::set<GlobalTxnId> end_in[kNumEngines];
+  for (int e = 0; e < kNumEngines; ++e) {
+    const StorageDevice* dev = engines_[e]->LogDevice();
+    if (dev == nullptr) continue;
+    LogReader reader(dev);
+    std::string raw;
+    while (reader.Next(&raw)) {
+      LogRecord rec;
+      if (!LogRecord::Decode(raw, &rec)) break;  // torn tail
+      if (rec.type == LogRecordType::kCommitBegin) {
+        cross_seen.insert(rec.gtid);
+      } else if (rec.type == LogRecordType::kCommitEnd) {
+        cross_seen.insert(rec.gtid);
+        end_in[e].insert(rec.gtid);
+      }
+      next_gtid_.store(
+          std::max(next_gtid_.load(std::memory_order_relaxed), rec.gtid + 1),
+          std::memory_order_relaxed);
+    }
+  }
+  std::set<GlobalTxnId> excluded;
+  for (GlobalTxnId gtid : cross_seen) {
+    if (end_in[0].count(gtid) == 0 || end_in[1].count(gtid) == 0) {
+      excluded.insert(gtid);
+    }
+  }
+  for (int e = 0; e < kNumEngines; ++e) {
+    SKEENA_RETURN_NOT_OK(engines_[e]->Recover(excluded));
+  }
+  return Status::OK();
+}
+
+Database::Stats Database::stats() {
+  Stats s;
+  s.csr = csr_.stats();
+  s.mem = mem_->engine()->stats();
+  s.stor = stor_->engine()->stats();
+  s.commits_completed = pipeline_->completed();
+  return s;
+}
+
+}  // namespace skeena

@@ -1,0 +1,139 @@
+#ifndef SKEENA_CORE_DATABASE_H_
+#define SKEENA_CORE_DATABASE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/active_registry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/adapters.h"
+#include "core/commit_pipeline.h"
+#include "core/csr.h"
+#include "core/engine_iface.h"
+
+namespace skeena {
+
+class Transaction;
+
+/// A table's catalog entry: its home engine and engine-local id
+/// (applications declare the home engine in the schema; paper Section 3,
+/// "Transparent Adoption").
+struct TableHandle {
+  std::string name;
+  EngineKind home = EngineKind::kMem;
+  int engine_index = 0;
+  TableId local_id = 0;
+};
+
+struct DatabaseOptions {
+  IsolationLevel default_isolation = IsolationLevel::kSnapshot;
+
+  /// Master switch: with Skeena off, transactions drive sub-transactions
+  /// directly with no snapshot coordination and independent commits — the
+  /// paper's "MySQL default" baseline where all Section 2.3 anomalies are
+  /// possible, and the single-engine baselines of Table 3.
+  bool enable_skeena = true;
+
+  /// Which engine anchors the CSR (paper Section 4.3). Defaults to the
+  /// memory-optimized engine, where snapshot acquisition is one atomic
+  /// load; configurable for the anchor-choice ablation.
+  EngineKind anchor = EngineKind::kMem;
+
+  SnapshotRegistry::Options csr;
+  CommitPipeline::Options pipeline;
+  memdb::MemEngine::Options mem;
+  stordb::StorEngine::Options stor;
+
+  /// Latency injected on both engines' log devices.
+  DeviceLatency log_latency = DeviceLatency::Tmpfs();
+
+  /// When set, logs / table spaces / catalog live in files under data_dir
+  /// (survives restarts; enables crash-recovery flows). Otherwise all
+  /// devices are in-memory.
+  std::string data_dir;
+};
+
+/// The multi-engine database: a memory-optimized engine and a
+/// storage-centric engine under one catalog, with Skeena coordinating
+/// cross-engine transactions (paper Figure 4).
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table homed in `home`. `max_value_size` bounds row values
+  /// (stordb rows are fixed-slot).
+  Result<TableHandle> CreateTable(const std::string& name, EngineKind home,
+                                  size_t max_value_size = 256);
+  Result<TableHandle> GetTable(const std::string& name) const;
+
+  std::unique_ptr<Transaction> Begin();
+  std::unique_ptr<Transaction> Begin(IsolationLevel iso);
+
+  /// Replays both engines' logs, rolling back cross-engine transactions
+  /// that are not fully committed in *both* logs (paper Section 4.6). Call
+  /// on a freshly (re)opened file-backed database; tables are re-created
+  /// from the persisted catalog automatically at construction.
+  Status Recover();
+
+  // ------------------------------------------------------------- access
+  EngineIface* engine(int index) { return engines_[index]; }
+  EngineIface* engine(EngineKind kind) {
+    return engines_[static_cast<int>(kind)];
+  }
+  MemEngineAdapter* mem() { return mem_; }
+  StorEngineAdapter* stor() { return stor_; }
+  int anchor_index() const { return anchor_index_; }
+  bool skeena_enabled() const { return options_.enable_skeena; }
+  IsolationLevel default_isolation() const {
+    return options_.default_isolation;
+  }
+
+  SnapshotRegistry& csr() { return csr_; }
+  ActiveSnapshotRegistry& anchor_registry() { return anchor_registry_; }
+  CommitPipeline& pipeline() { return *pipeline_; }
+
+  GlobalTxnId NextGtid() {
+    return next_gtid_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    SnapshotRegistry::Stats csr;
+    memdb::MemEngine::Stats mem;
+    stordb::StorEngine::Stats stor;
+    uint64_t commits_completed;
+  };
+  Stats stats();
+
+ private:
+  void PersistCatalogEntry(const TableHandle& h, size_t max_value_size);
+  void LoadCatalog();
+
+  DatabaseOptions options_;
+  std::unique_ptr<MemEngineAdapter> mem_owned_;
+  std::unique_ptr<StorEngineAdapter> stor_owned_;
+  MemEngineAdapter* mem_;
+  StorEngineAdapter* stor_;
+  EngineIface* engines_[kNumEngines];
+  int anchor_index_;
+
+  SnapshotRegistry csr_;
+  ActiveSnapshotRegistry anchor_registry_;
+  std::unique_ptr<CommitPipeline> pipeline_;
+
+  std::atomic<GlobalTxnId> next_gtid_{1};
+
+  mutable std::mutex catalog_mu_;
+  std::unordered_map<std::string, TableHandle> catalog_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_CORE_DATABASE_H_

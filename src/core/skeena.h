@@ -1,0 +1,25 @@
+#ifndef SKEENA_CORE_SKEENA_H_
+#define SKEENA_CORE_SKEENA_H_
+
+/// Umbrella header: the public API of the Skeena cross-engine transaction
+/// library.
+///
+///   skeena::DatabaseOptions opts;
+///   skeena::Database db(opts);
+///   auto orders = db.CreateTable("orders", skeena::EngineKind::kMem);
+///   auto history = db.CreateTable("history", skeena::EngineKind::kStor);
+///   auto txn = db.Begin(skeena::IsolationLevel::kSnapshot);
+///   txn->Put(*orders, skeena::MakeKey(42), "payload");
+///   std::string v;
+///   txn->Get(*history, skeena::MakeKey(7), &v);   // now cross-engine
+///   skeena::Status s = txn->Commit();             // Skeena protocol
+///
+/// See DESIGN.md for the system inventory and paper mapping.
+
+#include "common/encoding.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/database.h"
+#include "core/transaction.h"
+
+#endif  // SKEENA_CORE_SKEENA_H_

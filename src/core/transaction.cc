@@ -1,0 +1,247 @@
+#include "core/transaction.h"
+
+namespace skeena {
+
+Transaction::Transaction(Database* db, IsolationLevel iso)
+    : db_(db),
+      iso_(iso),
+      gtid_(db->NextGtid()),
+      skeena_on_(db->skeena_enabled()) {}
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) Abort();
+}
+
+void Transaction::ReleaseAnchorSlot() {
+  if (anchor_slot_ != ~size_t{0}) {
+    db_->anchor_registry().Release(anchor_slot_);
+    anchor_slot_ = ~size_t{0};
+  }
+}
+
+Status Transaction::EnsureAnchorSnapshot() {
+  if (anchor_snap_ != kInvalidTimestamp) return Status::OK();
+  // Register before reading the anchor clock so CSR recycling never drops
+  // the partition this snapshot lands in (Section 4.4).
+  anchor_slot_ = db_->anchor_registry().Acquire();
+  db_->anchor_registry().BeginAcquire(anchor_slot_);
+  anchor_snap_ = db_->engine(db_->anchor_index())->LatestSnapshot();
+  db_->anchor_registry().SetSnapshot(anchor_slot_, anchor_snap_);
+  return Status::OK();
+}
+
+Status Transaction::PrepareAccess(int e) {
+  if (state_ != State::kActive) {
+    return Status::InvalidArgument("transaction is not active");
+  }
+  int anchor = db_->anchor_index();
+
+  if (!skeena_on_) {
+    // Uncoordinated baseline: native latest snapshots in each engine.
+    if (!subs_[e]) {
+      subs_[e] = db_->engine(e)->Begin(iso_, kMaxTimestamp);
+      used_[e] = true;
+    } else if (iso_ == IsolationLevel::kReadCommitted) {
+      db_->engine(e)->RefreshSnapshot(subs_[e].get(), kMaxTimestamp);
+    }
+    return Status::OK();
+  }
+
+  // Read committed refreshes the snapshot on every record access
+  // (paper Table 2): drop the pinned anchor snapshot and re-select.
+  bool rc_refresh =
+      iso_ == IsolationLevel::kReadCommitted && subs_[e] != nullptr;
+  if (rc_refresh) {
+    db_->anchor_registry().BeginAcquire(anchor_slot_);
+    anchor_snap_ = db_->engine(anchor)->LatestSnapshot();
+    db_->anchor_registry().SetSnapshot(anchor_slot_, anchor_snap_);
+    if (e == anchor) {
+      db_->engine(e)->RefreshSnapshot(subs_[e].get(), anchor_snap_);
+    } else {
+      auto sel = db_->csr().SelectSnapshot(anchor_snap_, [this, e] {
+        return db_->engine(e)->LatestSnapshot();
+      });
+      if (!sel.ok()) {
+        Abort();
+        return sel.status();
+      }
+      db_->engine(e)->RefreshSnapshot(subs_[e].get(), *sel);
+    }
+    return Status::OK();
+  }
+
+  if (subs_[e]) return Status::OK();
+
+  // First access to this engine. Every Skeena-managed transaction starts
+  // from the anchor's snapshot order (Section 4.3) — even if it never
+  // touches anchor data.
+  SKEENA_RETURN_NOT_OK(EnsureAnchorSnapshot());
+  if (e == anchor) {
+    subs_[e] = db_->engine(e)->Begin(iso_, anchor_snap_);
+  } else {
+    auto sel = db_->csr().SelectSnapshot(anchor_snap_, [this, e] {
+      return db_->engine(e)->LatestSnapshot();
+    });
+    if (!sel.ok()) {
+      Abort();
+      return sel.status();
+    }
+    subs_[e] = db_->engine(e)->Begin(iso_, *sel);
+  }
+  used_[e] = true;
+  return Status::OK();
+}
+
+Status Transaction::HandleOpStatus(int e, Status s) {
+  (void)e;
+  if (s.IsAnyAbort()) {
+    // The engine already rolled back its own sub-transaction; abort the
+    // rest of the cross-engine transaction for atomicity.
+    Abort();
+  }
+  return s;
+}
+
+Status Transaction::Get(const TableHandle& table, const Key& key,
+                        std::string* value) {
+  int e = table.engine_index;
+  SKEENA_RETURN_NOT_OK(PrepareAccess(e));
+  return HandleOpStatus(
+      e, db_->engine(e)->Get(subs_[e].get(), table.local_id, key, value));
+}
+
+Status Transaction::Put(const TableHandle& table, const Key& key,
+                        std::string_view value) {
+  int e = table.engine_index;
+  SKEENA_RETURN_NOT_OK(PrepareAccess(e));
+  return HandleOpStatus(
+      e, db_->engine(e)->Put(subs_[e].get(), table.local_id, key, value));
+}
+
+Status Transaction::Delete(const TableHandle& table, const Key& key) {
+  int e = table.engine_index;
+  SKEENA_RETURN_NOT_OK(PrepareAccess(e));
+  return HandleOpStatus(
+      e, db_->engine(e)->Delete(subs_[e].get(), table.local_id, key));
+}
+
+Status Transaction::Scan(
+    const TableHandle& table, const Key& lower, size_t limit,
+    const std::function<bool(const Key&, const std::string&)>& cb) {
+  int e = table.engine_index;
+  SKEENA_RETURN_NOT_OK(PrepareAccess(e));
+  return HandleOpStatus(e, db_->engine(e)->Scan(subs_[e].get(),
+                                                table.local_id, lower, limit,
+                                                cb));
+}
+
+Status Transaction::Get(const std::string& table, const Key& key,
+                        std::string* value) {
+  auto h = db_->GetTable(table);
+  if (!h.ok()) return h.status();
+  return Get(*h, key, value);
+}
+
+Status Transaction::Put(const std::string& table, const Key& key,
+                        std::string_view value) {
+  auto h = db_->GetTable(table);
+  if (!h.ok()) return h.status();
+  return Put(*h, key, value);
+}
+
+Status Transaction::Commit() {
+  if (state_ != State::kActive) {
+    return Status::InvalidArgument("transaction is not active");
+  }
+  int anchor = db_->anchor_index();
+  int other = 1 - anchor;
+
+  if (!used_[0] && !used_[1]) {
+    state_ = State::kCommitted;
+    ReleaseAnchorSlot();
+    return Status::OK();
+  }
+
+  bool cross = used_[0] && used_[1];
+
+  // ---- Step 1: pre-commit every sub-transaction, anchor first, obtaining
+  // engine-level commit timestamps (Section 4.5).
+  Timestamp cts[kNumEngines] = {0, 0};
+  int order[2] = {anchor, other};
+  for (int i = 0; i < 2; ++i) {
+    int e = order[i];
+    if (!used_[e]) continue;
+    Status s = db_->engine(e)->PreCommit(subs_[e].get(), gtid_,
+                                         cross && skeena_on_, &cts[e]);
+    if (!s.ok()) {
+      Abort();
+      return s;
+    }
+  }
+
+  // ---- Step 2: Skeena commit check. An "all-yes" pre-commit is not
+  // sufficient — unlike 2PC, the transaction may still abort here.
+  if (skeena_on_) {
+    Status check = Status::OK();
+    if (cross) {
+      bool anchor_wrote =
+          !db_->engine(anchor)->IsReadOnly(subs_[anchor].get());
+      bool other_wrote =
+          !db_->engine(other)->IsReadOnly(subs_[other].get());
+      check = db_->csr().CommitCheck(cts[anchor], cts[other], anchor_wrote,
+                                     other_wrote);
+    } else if (used_[other]) {
+      // Single-engine in the non-anchor (slow) engine: still effectively
+      // cross-engine — its commit must respect the anchor's start order
+      // (Section 4.3). The anchor-side commit timestamp of a transaction
+      // with no anchor writes is its anchor begin snapshot.
+      bool other_wrote =
+          !db_->engine(other)->IsReadOnly(subs_[other].get());
+      check = db_->csr().CommitCheck(anchor_snap_, cts[other],
+                                     /*anchor_engine_wrote=*/false,
+                                     other_wrote);
+    }
+    // Anchor-only transactions never touch the CSR (Table 3: ERMIA-S
+    // matches ERMIA).
+    if (!check.ok()) {
+      Abort();  // aborts both pre-committed sub-transactions
+      return check;
+    }
+  }
+
+  // ---- Step 3: post-commit in the same (anchor-first) order in both
+  // engines; results become visible internally but are not released to the
+  // caller until durable.
+  Lsn lsns[kNumEngines] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    int e = order[i];
+    if (!used_[e]) continue;
+    Lsn lsn = db_->engine(e)->PostCommit(subs_[e].get(), gtid_,
+                                         cross && skeena_on_);
+    // Read-only sub-transactions may still have observed other
+    // transactions' not-yet-durable results: gate on the log tail.
+    lsns[e] = lsn != 0 ? lsn : db_->engine(e)->CurrentLsn();
+  }
+
+  state_ = State::kCommitted;
+  ReleaseAnchorSlot();
+
+  // ---- Pipelined commit: detach and wait for both engines' durable LSNs
+  // (Section 4.5). The wait is on this handle so callers get synchronous
+  // commit semantics while worker threads of the engines stay off the I/O
+  // path.
+  db_->pipeline().EnqueueAndWait(lsns, &waiter_,
+                                 static_cast<size_t>(gtid_));
+  return Status::OK();
+}
+
+void Transaction::Abort() {
+  if (state_ != State::kActive) return;
+  for (int e = 0; e < kNumEngines; ++e) {
+    if (used_[e]) db_->engine(e)->Abort(subs_[e].get());
+  }
+  ReleaseAnchorSlot();
+  state_ = State::kAborted;
+}
+
+}  // namespace skeena

@@ -1,0 +1,443 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/spin_latch.h"
+
+namespace skeena {
+
+namespace {
+
+// Version word layout: [counter ...][lock:1][obsolete:1].
+constexpr uint64_t kObsoleteBit = 1;
+constexpr uint64_t kLockBit = 2;
+
+}  // namespace
+
+struct BTree::NodeBase {
+  std::atomic<uint64_t> version{4};  // unlocked, not obsolete
+  bool is_leaf = false;
+  uint16_t count = 0;
+
+  bool IsLocked(uint64_t v) const { return (v & kLockBit) != 0; }
+  bool IsObsolete(uint64_t v) const { return (v & kObsoleteBit) != 0; }
+
+  // Waits until the node is unlocked and returns the observed version.
+  // Sets restart if the node became obsolete.
+  uint64_t StableVersion(bool* restart) const {
+    uint64_t v = version.load(std::memory_order_acquire);
+    while (v & kLockBit) {
+      CpuRelax();
+      v = version.load(std::memory_order_acquire);
+    }
+    if (v & kObsoleteBit) *restart = true;
+    return v;
+  }
+
+  // Validates that the node did not change since `v` was observed.
+  void CheckOrRestart(uint64_t v, bool* restart) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version.load(std::memory_order_relaxed) != v) *restart = true;
+  }
+
+  void UpgradeToWriteLockOrRestart(uint64_t v, bool* restart) {
+    uint64_t expected = v;
+    if (!version.compare_exchange_strong(expected, v | kLockBit,
+                                         std::memory_order_acquire)) {
+      *restart = true;
+    }
+  }
+
+  void WriteUnlock() {
+    // Adding kLockBit clears the lock bit (carry) and bumps the counter.
+    version.fetch_add(kLockBit, std::memory_order_release);
+  }
+
+  void WriteUnlockObsolete() {
+    version.fetch_add(kLockBit | kObsoleteBit, std::memory_order_release);
+  }
+};
+
+struct BTree::InnerNode : BTree::NodeBase {
+  static constexpr int kCapacity = 32;
+
+  Key keys[kCapacity];
+  NodeBase* children[kCapacity + 1] = {};
+
+  InnerNode() { is_leaf = false; }
+
+  bool IsFull() const { return count == kCapacity; }
+
+  // Index of the child that covers `k`: first position whose separator is
+  // strictly greater than k (keys equal to a separator route right).
+  int ChildPos(const Key& k) const {
+    int lo = 0;
+    int hi = count;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (k < keys[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // Inserts separator `sep` with `right` as the child covering keys >= sep.
+  // Pre: not full, write-locked.
+  void InsertChild(const Key& sep, NodeBase* right) {
+    int pos = ChildPos(sep);
+    std::memmove(&keys[pos + 1], &keys[pos], sizeof(Key) * (count - pos));
+    std::memmove(&children[pos + 2], &children[pos + 1],
+                 sizeof(NodeBase*) * (count - pos));
+    keys[pos] = sep;
+    children[pos + 1] = right;
+    count++;
+  }
+
+  // Splits a full node: the median separator moves up, the upper half moves
+  // into the returned sibling. Pre: full, write-locked.
+  InnerNode* Split(Key* sep) {
+    auto* right = new InnerNode();
+    int mid = count / 2;
+    *sep = keys[mid];
+    right->count = static_cast<uint16_t>(count - mid - 1);
+    std::memcpy(right->keys, &keys[mid + 1], sizeof(Key) * right->count);
+    std::memcpy(right->children, &children[mid + 1],
+                sizeof(NodeBase*) * (right->count + 1));
+    count = static_cast<uint16_t>(mid);
+    return right;
+  }
+};
+
+struct BTree::LeafNode : BTree::NodeBase {
+  static constexpr int kCapacity = 32;
+
+  Key keys[kCapacity];
+  uint64_t values[kCapacity];
+  std::atomic<LeafNode*> next{nullptr};
+
+  LeafNode() { is_leaf = true; }
+
+  bool IsFull() const { return count == kCapacity; }
+
+  // First position with keys[pos] >= k.
+  int LowerBound(const Key& k) const {
+    int lo = 0;
+    int hi = count;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (keys[mid] < k) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  bool Find(const Key& k, uint64_t* value) const {
+    int pos = LowerBound(k);
+    if (pos < count && keys[pos] == k) {
+      *value = values[pos];
+      return true;
+    }
+    return false;
+  }
+
+  // Pre: write-locked. Returns true if a new key was inserted; sets
+  // *existed if the key was already present.
+  bool InsertOrUpdate(const Key& k, uint64_t v, bool allow_update,
+                      bool* existed) {
+    int pos = LowerBound(k);
+    if (pos < count && keys[pos] == k) {
+      *existed = true;
+      if (allow_update) values[pos] = v;
+      return false;
+    }
+    *existed = false;
+    assert(count < kCapacity);
+    std::memmove(&keys[pos + 1], &keys[pos], sizeof(Key) * (count - pos));
+    std::memmove(&values[pos + 1], &values[pos],
+                 sizeof(uint64_t) * (count - pos));
+    keys[pos] = k;
+    values[pos] = v;
+    count++;
+    return true;
+  }
+
+  // Pre: full, write-locked. Returns the new right sibling; *sep is the
+  // sibling's first key.
+  LeafNode* Split(Key* sep) {
+    auto* right = new LeafNode();
+    int mid = count / 2;
+    right->count = static_cast<uint16_t>(count - mid);
+    std::memcpy(right->keys, &keys[mid], sizeof(Key) * right->count);
+    std::memcpy(right->values, &values[mid], sizeof(uint64_t) * right->count);
+    count = static_cast<uint16_t>(mid);
+    right->next.store(next.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    next.store(right, std::memory_order_release);
+    *sep = right->keys[0];
+    return right;
+  }
+};
+
+BTree::BTree() { root_.store(new LeafNode(), std::memory_order_release); }
+
+BTree::~BTree() { FreeSubtree(root_.load(std::memory_order_acquire)); }
+
+void BTree::FreeSubtree(NodeBase* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    for (int i = 0; i <= inner->count; ++i) FreeSubtree(inner->children[i]);
+    delete inner;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+void BTree::MakeRoot(const Key& sep, NodeBase* left, NodeBase* right) {
+  auto* root = new InnerNode();
+  root->count = 1;
+  root->keys[0] = sep;
+  root->children[0] = left;
+  root->children[1] = right;
+  root_.store(root, std::memory_order_release);
+}
+
+bool BTree::Insert(const Key& key, uint64_t value) {
+  bool existed = false;
+  UpsertImpl(key, value, /*allow_update=*/false, &existed);
+  return !existed;
+}
+
+bool BTree::Upsert(const Key& key, uint64_t value) {
+  bool existed = false;
+  UpsertImpl(key, value, /*allow_update=*/true, &existed);
+  return !existed;
+}
+
+bool BTree::UpsertImpl(const Key& key, uint64_t value, bool allow_update,
+                       bool* existed) {
+  while (true) {
+    bool restart = false;
+    NodeBase* node = root_.load(std::memory_order_acquire);
+    uint64_t version = node->StableVersion(&restart);
+    if (restart || node != root_.load(std::memory_order_acquire)) continue;
+
+    InnerNode* parent = nullptr;
+    uint64_t parent_version = 0;
+
+    // Descend, splitting any full node preemptively so an insertion below
+    // never needs to propagate a split upward past a locked region.
+    bool descend_restart = false;
+    while (!node->is_leaf) {
+      auto* inner = static_cast<InnerNode*>(node);
+      if (inner->IsFull()) {
+        if (parent != nullptr) {
+          parent->UpgradeToWriteLockOrRestart(parent_version, &restart);
+          if (restart) break;
+        }
+        node->UpgradeToWriteLockOrRestart(version, &restart);
+        if (restart) {
+          if (parent != nullptr) parent->WriteUnlock();
+          break;
+        }
+        if (parent == nullptr &&
+            node != root_.load(std::memory_order_acquire)) {
+          node->WriteUnlock();
+          restart = true;
+          break;
+        }
+        Key sep;
+        InnerNode* right = inner->Split(&sep);
+        if (parent != nullptr) {
+          parent->InsertChild(sep, right);
+        } else {
+          MakeRoot(sep, inner, right);
+        }
+        node->WriteUnlock();
+        if (parent != nullptr) parent->WriteUnlock();
+        restart = true;  // re-descend through the split
+        break;
+      }
+
+      if (parent != nullptr) {
+        parent->CheckOrRestart(parent_version, &restart);
+        if (restart) break;
+      }
+      parent = inner;
+      parent_version = version;
+      NodeBase* child = inner->children[inner->ChildPos(key)];
+      inner->CheckOrRestart(version, &restart);
+      if (restart) break;
+      node = child;
+      version = node->StableVersion(&restart);
+      if (restart) break;
+    }
+    if (restart) continue;
+    (void)descend_restart;
+
+    auto* leaf = static_cast<LeafNode*>(node);
+    if (leaf->IsFull()) {
+      if (parent != nullptr) {
+        parent->UpgradeToWriteLockOrRestart(parent_version, &restart);
+        if (restart) continue;
+      }
+      node->UpgradeToWriteLockOrRestart(version, &restart);
+      if (restart) {
+        if (parent != nullptr) parent->WriteUnlock();
+        continue;
+      }
+      if (parent == nullptr && node != root_.load(std::memory_order_acquire)) {
+        node->WriteUnlock();
+        continue;
+      }
+      // A full leaf can still satisfy an update-in-place or a duplicate.
+      int pos = leaf->LowerBound(key);
+      if (pos < leaf->count && leaf->keys[pos] == key) {
+        *existed = true;
+        if (allow_update) leaf->values[pos] = value;
+        node->WriteUnlock();
+        if (parent != nullptr) parent->WriteUnlock();
+        return false;
+      }
+      Key sep;
+      LeafNode* right = leaf->Split(&sep);
+      if (parent != nullptr) {
+        parent->InsertChild(sep, right);
+      } else {
+        MakeRoot(sep, leaf, right);
+      }
+      node->WriteUnlock();
+      if (parent != nullptr) parent->WriteUnlock();
+      continue;  // re-descend into the correct half
+    }
+
+    node->UpgradeToWriteLockOrRestart(version, &restart);
+    if (restart) continue;
+    if (parent != nullptr) {
+      parent->CheckOrRestart(parent_version, &restart);
+      if (restart) {
+        node->WriteUnlock();
+        continue;
+      }
+    }
+    bool inserted = leaf->InsertOrUpdate(key, value, allow_update, existed);
+    node->WriteUnlock();
+    if (inserted) size_.fetch_add(1, std::memory_order_relaxed);
+    return inserted;
+  }
+}
+
+bool BTree::Lookup(const Key& key, uint64_t* value) const {
+  while (true) {
+    bool restart = false;
+    NodeBase* node = root_.load(std::memory_order_acquire);
+    uint64_t version = node->StableVersion(&restart);
+    if (restart || node != root_.load(std::memory_order_acquire)) continue;
+
+    while (!node->is_leaf) {
+      auto* inner = static_cast<const InnerNode*>(node);
+      NodeBase* child = inner->children[inner->ChildPos(key)];
+      node->CheckOrRestart(version, &restart);
+      if (restart) break;
+      uint64_t child_version = child->StableVersion(&restart);
+      if (restart) break;
+      node->CheckOrRestart(version, &restart);
+      if (restart) break;
+      node = child;
+      version = child_version;
+    }
+    if (restart) continue;
+
+    auto* leaf = static_cast<const LeafNode*>(node);
+    uint64_t v = 0;
+    bool found = leaf->Find(key, &v);
+    node->CheckOrRestart(version, &restart);
+    if (restart) continue;
+    if (found) *value = v;
+    return found;
+  }
+}
+
+size_t BTree::ScanFrom(const Key& lower, const ScanCallback& cb) const {
+  // Per-leaf snapshot buffer: entries are copied out under version
+  // validation, then delivered outside the critical region so the callback
+  // may be arbitrarily slow without blocking writers.
+  Key buf_keys[LeafNode::kCapacity];
+  uint64_t buf_values[LeafNode::kCapacity];
+
+  Key cursor = lower;   // deliver only entries >= cursor
+  size_t delivered = 0;
+
+  while (true) {
+  restart:
+    bool restart = false;
+    NodeBase* node = root_.load(std::memory_order_acquire);
+    uint64_t version = node->StableVersion(&restart);
+    if (restart || node != root_.load(std::memory_order_acquire)) continue;
+
+    while (!node->is_leaf) {
+      auto* inner = static_cast<const InnerNode*>(node);
+      NodeBase* child = inner->children[inner->ChildPos(cursor)];
+      node->CheckOrRestart(version, &restart);
+      if (restart) goto restart;
+      uint64_t child_version = child->StableVersion(&restart);
+      if (restart) goto restart;
+      node->CheckOrRestart(version, &restart);
+      if (restart) goto restart;
+      node = child;
+      version = child_version;
+    }
+
+    const LeafNode* leaf = static_cast<const LeafNode*>(node);
+    // Walk the leaf chain from here.
+    while (leaf != nullptr) {
+      int n = 0;
+      int pos = leaf->LowerBound(cursor);
+      for (int i = pos; i < leaf->count; ++i) {
+        buf_keys[n] = leaf->keys[i];
+        buf_values[n] = leaf->values[i];
+        n++;
+      }
+      const LeafNode* next = leaf->next.load(std::memory_order_acquire);
+      leaf->CheckOrRestart(version, &restart);
+      if (restart) goto restart;  // re-descend using the current cursor
+
+      for (int i = 0; i < n; ++i) {
+        delivered++;
+        if (!cb(buf_keys[i], buf_values[i])) return delivered;
+        // Advance the cursor past the delivered key: smallest key > k is
+        // k + 1 in lexicographic byte order.
+        cursor = buf_keys[i];
+        for (int b = 15; b >= 0; --b) {
+          if (++cursor[b] != 0) break;
+          if (b == 0) return delivered;  // wrapped past the max key
+        }
+      }
+      if (next == nullptr) return delivered;
+      version = next->StableVersion(&restart);
+      if (restart) goto restart;
+      leaf = next;
+    }
+    return delivered;
+  }
+}
+
+size_t BTree::Height() const {
+  size_t h = 1;
+  NodeBase* node = root_.load(std::memory_order_acquire);
+  while (!node->is_leaf) {
+    node = static_cast<InnerNode*>(node)->children[0];
+    h++;
+  }
+  return h;
+}
+
+}  // namespace skeena

@@ -1,0 +1,85 @@
+#ifndef SKEENA_INDEX_BTREE_H_
+#define SKEENA_INDEX_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/encoding.h"
+
+namespace skeena {
+
+/// Concurrent in-memory B+-tree with 16-byte binary-comparable keys and
+/// 64-bit values.
+///
+/// This is the repository's substitute for Masstree (paper Section 4.3): a
+/// high-performance range index used for every engine-side table index.
+/// Synchronization follows the optimistic lock coupling design of Leis et
+/// al.: every node carries a version word (obsolete bit, lock bit, counter);
+/// readers descend without locking and validate node versions after each
+/// read, restarting on interference; writers lock only the nodes they
+/// modify and split full nodes preemptively on the way down, so structure
+/// modifications never propagate upward.
+///
+/// The tree intentionally has no `Remove`: both engines delete logically
+/// (tombstone versions / invisible rows), matching the multi-version model
+/// of paper Section 2.2, and the CSR recycles whole partitions instead of
+/// deleting keys. Values are immutable handles (version-chain heads in
+/// memdb, RIDs in stordb), so `Insert` is the common mutation.
+///
+/// Thread safety: all operations may run concurrently. The destructor must
+/// be called with no concurrent operations.
+class BTree {
+ public:
+  /// Visitor for range scans. Return false to stop the scan.
+  using ScanCallback = std::function<bool(const Key& key, uint64_t value)>;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts key -> value. Returns false (and leaves the tree unchanged) if
+  /// the key already exists.
+  bool Insert(const Key& key, uint64_t value);
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Upsert(const Key& key, uint64_t value);
+
+  /// Point lookup. Returns true and fills *value if the key is present.
+  bool Lookup(const Key& key, uint64_t* value) const;
+
+  /// Visits all entries with key >= lower in ascending key order until the
+  /// callback returns false. Returns the number of entries visited.
+  ///
+  /// The scan is a sequence of atomically-read leaf snapshots: entries seen
+  /// within one leaf are consistent, and each entry is delivered at most
+  /// once even if splits force internal restarts.
+  size_t ScanFrom(const Key& lower, const ScanCallback& cb) const;
+
+  /// Number of distinct keys (exact; maintained on insert).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Height of the tree (root is height 1). For tests/stats.
+  size_t Height() const;
+
+ private:
+  struct NodeBase;
+  struct InnerNode;
+  struct LeafNode;
+
+  // Core upsert used by Insert/Upsert.
+  bool UpsertImpl(const Key& key, uint64_t value, bool allow_update,
+                  bool* existed);
+
+  void MakeRoot(const Key& sep, NodeBase* left, NodeBase* right);
+  static void FreeSubtree(NodeBase* node);
+
+  std::atomic<NodeBase*> root_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_INDEX_BTREE_H_

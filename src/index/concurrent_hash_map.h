@@ -1,0 +1,108 @@
+#ifndef SKEENA_INDEX_CONCURRENT_HASH_MAP_H_
+#define SKEENA_INDEX_CONCURRENT_HASH_MAP_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace skeena {
+
+/// Mutex-sharded hash map. Used for the buffer pool page table, the stordb
+/// transaction state table and the lock manager's lock table — places where
+/// point operations dominate and per-shard mutexes keep contention low.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ConcurrentHashMap {
+ public:
+  explicit ConcurrentHashMap(size_t num_shards = 64) : shards_(num_shards) {}
+
+  /// Inserts key -> value; returns false if the key already existed.
+  bool Insert(const K& key, const V& value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> guard(s.mu);
+    return s.map.emplace(key, value).second;
+  }
+
+  /// Inserts or overwrites.
+  void Put(const K& key, const V& value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> guard(s.mu);
+    s.map[key] = value;
+  }
+
+  std::optional<V> Get(const K& key) const {
+    const Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> guard(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const K& key) const {
+    const Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> guard(s.mu);
+    return s.map.count(key) != 0;
+  }
+
+  bool Erase(const K& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> guard(s.mu);
+    return s.map.erase(key) != 0;
+  }
+
+  /// Runs `fn` under the shard lock with a reference to the mapped value,
+  /// default-constructing it if absent.
+  template <typename Fn>
+  void WithValue(const K& key, Fn&& fn) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> guard(s.mu);
+    fn(s.map[key]);
+  }
+
+  /// Removes all entries matching the predicate. Returns removed count.
+  template <typename Pred>
+  size_t EraseIf(Pred&& pred) {
+    size_t removed = 0;
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> guard(s.mu);
+      for (auto it = s.map.begin(); it != s.map.end();) {
+        if (pred(it->first, it->second)) {
+          it = s.map.erase(it);
+          removed++;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return removed;
+  }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> guard(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  Shard& ShardFor(const K& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+  const Shard& ShardFor(const K& key) const {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_INDEX_CONCURRENT_HASH_MAP_H_

@@ -1,0 +1,146 @@
+#include "log/log_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace skeena {
+
+namespace {
+constexpr size_t kFrameHeaderSize = sizeof(uint32_t);
+}  // namespace
+
+LogManager::LogManager(std::unique_ptr<StorageDevice> device)
+    : LogManager(std::move(device), Options()) {}
+
+LogManager::LogManager(std::unique_ptr<StorageDevice> device, Options options)
+    : device_(std::move(device)), options_(options) {
+  // Resume after an existing log (recovery reopens devices in place).
+  Lsn existing = device_->Size();
+  next_lsn_.store(existing, std::memory_order_relaxed);
+  durable_lsn_.store(existing, std::memory_order_relaxed);
+  appended_lsn_ = existing;
+  staging_start_lsn_ = existing;
+  staging_.reserve(options_.flush_watermark * 2);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+LogManager::~LogManager() {
+  stop_.store(true, std::memory_order_release);
+  flusher_.join();
+  // Final drain so nothing staged is lost on clean shutdown.
+  FlushLocked();
+}
+
+Lsn LogManager::Append(std::span<const uint8_t> record) {
+  uint32_t len = static_cast<uint32_t>(record.size());
+  Lsn lsn;
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> guard(buf_mu_);
+    was_empty = staging_.empty();
+    staging_.insert(staging_.end(),
+                    reinterpret_cast<const uint8_t*>(&len),
+                    reinterpret_cast<const uint8_t*>(&len) + kFrameHeaderSize);
+    staging_.insert(staging_.end(), record.begin(), record.end());
+    lsn = staging_start_lsn_ + staging_.size();
+    next_lsn_.store(lsn, std::memory_order_release);
+  }
+  // Wake the flusher only on the empty -> non-empty transition: idle-system
+  // commit latency collapses to one flush, while a busy flusher keeps
+  // batching (group commit) without per-append wakeups.
+  if (was_empty) work_cv_.notify_one();
+  return lsn;
+}
+
+Status LogManager::FlushLocked() {
+  std::lock_guard<std::mutex> flush_guard(flush_mu_);
+  std::vector<uint8_t> batch;
+  {
+    std::lock_guard<std::mutex> guard(buf_mu_);
+    if (staging_.empty() && appended_lsn_ == durable_lsn_.load()) {
+      return Status::OK();
+    }
+    batch.swap(staging_);
+    staging_start_lsn_ += batch.size();
+  }
+  if (!batch.empty()) {
+    uint64_t offset = 0;
+    Status s = device_->Append(batch, &offset);
+    if (!s.ok()) {
+      // Failed appends must not lose records: put the batch back in front
+      // of anything staged meanwhile and rewind the staging origin.
+      std::lock_guard<std::mutex> guard(buf_mu_);
+      staging_start_lsn_ -= batch.size();
+      batch.insert(batch.end(), staging_.begin(), staging_.end());
+      staging_.swap(batch);
+      return s;
+    }
+    appended_lsn_ += batch.size();
+  }
+  if (options_.sync_on_flush) {
+    // A failed sync leaves the bytes appended but not durable; the next
+    // flush retries the sync even with nothing newly staged.
+    SKEENA_RETURN_NOT_OK(device_->Sync());
+  }
+  flush_batches_.fetch_add(1, std::memory_order_relaxed);
+  durable_lsn_.store(appended_lsn_, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> guard(durable_mu_);
+  }
+  durable_cv_.notify_all();
+  return Status::OK();
+}
+
+Status LogManager::Flush() { return FlushLocked(); }
+
+void LogManager::WaitDurable(Lsn lsn) {
+  if (DurableLsn() >= lsn) return;
+  std::unique_lock<std::mutex> guard(durable_mu_);
+  durable_cv_.wait(guard, [&] { return DurableLsn() >= lsn; });
+}
+
+void LogManager::FlusherLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool should_flush = false;
+    {
+      std::unique_lock<std::mutex> guard(buf_mu_);
+      // Appends signal the condition variable, so the timed wait is only a
+      // backstop; waiting longer than flush_interval_us while idle costs
+      // nothing and keeps idle engines off the CPU.
+      uint64_t idle_us = std::max<uint64_t>(options_.flush_interval_us, 5000);
+      work_cv_.wait_for(guard, std::chrono::microseconds(idle_us), [&] {
+        return (options_.auto_flush && !staging_.empty()) ||
+               stop_.load(std::memory_order_acquire);
+      });
+      should_flush = options_.auto_flush && !staging_.empty();
+    }
+    if (should_flush) FlushLocked();
+  }
+}
+
+bool LogReader::Next(std::string* record) {
+  uint32_t len = 0;
+  uint64_t size = device_->Size();
+  if (offset_ + kFrameHeaderSize > size) return false;
+  uint8_t hdr[kFrameHeaderSize];
+  if (!device_->ReadAt(offset_, std::span<uint8_t>(hdr, kFrameHeaderSize))
+           .ok()) {
+    return false;
+  }
+  std::memcpy(&len, hdr, kFrameHeaderSize);
+  if (offset_ + kFrameHeaderSize + len > size) return false;  // torn tail
+  record->resize(len);
+  if (len > 0) {
+    if (!device_
+             ->ReadAt(offset_ + kFrameHeaderSize,
+                      std::span<uint8_t>(
+                          reinterpret_cast<uint8_t*>(record->data()), len))
+             .ok()) {
+      return false;
+    }
+  }
+  offset_ += kFrameHeaderSize + len;
+  return true;
+}
+
+}  // namespace skeena

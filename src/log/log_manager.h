@@ -1,0 +1,123 @@
+#ifndef SKEENA_LOG_LOG_MANAGER_H_
+#define SKEENA_LOG_LOG_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "log/storage_device.h"
+
+namespace skeena {
+
+/// Append-only write-ahead log with group commit.
+///
+/// Workers append framed records into an in-memory staging buffer and
+/// immediately continue — this is the foundation of the pipelined commit
+/// protocol (paper Section 4.5, after Aether [34]): transactions never wait
+/// for their own flush; a background flusher batches the staging buffer to
+/// the device and advances `durable_lsn()`, which Skeena's committer daemon
+/// polls to decide when a cross-engine transaction's results may be
+/// released to the client.
+///
+/// LSNs are byte offsets: a record's LSN is the offset one past its last
+/// byte, so `durable_lsn() >= lsn` means the record is fully persistent.
+class LogManager {
+ public:
+  struct Options {
+    /// Flusher wake-up period when idle.
+    uint64_t flush_interval_us = 50;
+    /// Flush as soon as this many staged bytes accumulate.
+    size_t flush_watermark = 64 * 1024;
+    /// Issue a device Sync() after each flush batch.
+    bool sync_on_flush = true;
+    /// When false the background flusher never runs; only explicit Flush()
+    /// advances durability (tests of durability gating).
+    bool auto_flush = true;
+  };
+
+  explicit LogManager(std::unique_ptr<StorageDevice> device);
+  LogManager(std::unique_ptr<StorageDevice> device, Options options);
+  ~LogManager();
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Appends one framed record; returns its LSN. Thread-safe, non-blocking
+  /// (no I/O on the caller's path).
+  Lsn Append(std::span<const uint8_t> record);
+
+  /// LSN one past the last appended byte.
+  Lsn CurrentLsn() const { return next_lsn_.load(std::memory_order_acquire); }
+
+  /// LSN up to which the log is durable on the device.
+  Lsn DurableLsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until `lsn` is durable.
+  void WaitDurable(Lsn lsn);
+
+  /// Forces all staged records to the device before returning.
+  Status Flush();
+
+  const StorageDevice* device() const { return device_.get(); }
+
+  /// Number of flush batches issued (group-commit effectiveness metric).
+  uint64_t flush_batches() const {
+    return flush_batches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void FlusherLoop();
+  // Flushes the staging buffer. Caller must NOT hold buf_mu_.
+  Status FlushLocked();
+
+  std::unique_ptr<StorageDevice> device_;
+  Options options_;
+
+  std::mutex buf_mu_;
+  std::condition_variable work_cv_;  // signaled when staging becomes non-empty
+  std::vector<uint8_t> staging_;
+  Lsn staging_start_lsn_ = 0;
+
+  std::atomic<Lsn> next_lsn_{0};
+  std::atomic<Lsn> durable_lsn_{0};
+  Lsn appended_lsn_ = 0;  // on device, possibly unsynced (flush_mu_)
+  std::atomic<uint64_t> flush_batches_{0};
+
+  std::mutex durable_mu_;
+  std::condition_variable durable_cv_;
+
+  std::mutex flush_mu_;  // serializes flush batches
+  std::atomic<bool> stop_{false};
+  std::thread flusher_;
+};
+
+/// Sequentially iterates the framed records of a log device. Used by
+/// recovery (paper Section 4.6).
+class LogReader {
+ public:
+  explicit LogReader(const StorageDevice* device) : device_(device) {}
+
+  /// Reads the next record into *record. Returns false at end of log or on
+  /// a torn/partial record (which recovery treats as the end).
+  bool Next(std::string* record);
+
+  uint64_t offset() const { return offset_; }
+
+ private:
+  const StorageDevice* device_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_LOG_LOG_MANAGER_H_

@@ -1,0 +1,169 @@
+#include "log/storage_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace skeena {
+
+void SpinWaitNs(uint64_t ns) {
+  if (ns == 0) return;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy wait: models a synchronous I/O completion.
+  }
+}
+
+// ---------------------------------------------------------------- MemDevice
+
+MemDevice::MemDevice(DeviceLatency latency) : latency_(latency) {}
+
+Status MemDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    *offset = data_.size();
+    data_.insert(data_.end(), data.begin(), data.end());
+    bytes_written_ += data.size();
+  }
+  SpinWaitNs(latency_.write_ns);
+  return Status::OK();
+}
+
+Status MemDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (offset + data.size() > data_.size()) data_.resize(offset + data.size());
+    std::memcpy(data_.data() + offset, data.data(), data.size());
+    bytes_written_ += data.size();
+  }
+  SpinWaitNs(latency_.write_ns);
+  return Status::OK();
+}
+
+Status MemDevice::ReadAt(uint64_t offset, std::span<uint8_t> out) const {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (offset + out.size() > data_.size()) {
+      return Status::IOError("read past end of device");
+    }
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+    bytes_read_ += out.size();
+  }
+  SpinWaitNs(latency_.read_ns);
+  return Status::OK();
+}
+
+Status MemDevice::Sync() {
+  SpinWaitNs(latency_.sync_ns);
+  return Status::OK();
+}
+
+uint64_t MemDevice::Size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return data_.size();
+}
+
+uint64_t MemDevice::bytes_read() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return bytes_read_;
+}
+
+uint64_t MemDevice::bytes_written() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return bytes_written_;
+}
+
+// --------------------------------------------------------------- FileDevice
+
+Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
+                                                     DeviceLatency latency) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open failed: " + path);
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError("lseek failed: " + path);
+  }
+  return std::unique_ptr<FileDevice>(
+      new FileDevice(fd, path, static_cast<uint64_t>(size), latency));
+}
+
+FileDevice::FileDevice(int fd, std::string path, uint64_t size,
+                       DeviceLatency latency)
+    : fd_(fd), path_(std::move(path)), size_(size), latency_(latency) {}
+
+FileDevice::~FileDevice() { ::close(fd_); }
+
+Status FileDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    *offset = size_;
+    ssize_t n = ::pwrite(fd_, data.data(), data.size(),
+                         static_cast<off_t>(size_));
+    if (n < 0 || static_cast<size_t>(n) != data.size()) {
+      return Status::IOError("pwrite failed: " + path_);
+    }
+    size_ += data.size();
+    bytes_written_ += data.size();
+  }
+  SpinWaitNs(latency_.write_ns);
+  return Status::OK();
+}
+
+Status FileDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    ssize_t n = ::pwrite(fd_, data.data(), data.size(),
+                         static_cast<off_t>(offset));
+    if (n < 0 || static_cast<size_t>(n) != data.size()) {
+      return Status::IOError("pwrite failed: " + path_);
+    }
+    if (offset + data.size() > size_) size_ = offset + data.size();
+    bytes_written_ += data.size();
+  }
+  SpinWaitNs(latency_.write_ns);
+  return Status::OK();
+}
+
+Status FileDevice::ReadAt(uint64_t offset, std::span<uint8_t> out) const {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    ssize_t n = ::pread(fd_, out.data(), out.size(),
+                        static_cast<off_t>(offset));
+    if (n < 0 || static_cast<size_t>(n) != out.size()) {
+      return Status::IOError("pread failed: " + path_);
+    }
+    bytes_read_ += out.size();
+  }
+  SpinWaitNs(latency_.read_ns);
+  return Status::OK();
+}
+
+Status FileDevice::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed: " + path_);
+  }
+  SpinWaitNs(latency_.sync_ns);
+  return Status::OK();
+}
+
+uint64_t FileDevice::Size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return size_;
+}
+
+uint64_t FileDevice::bytes_read() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return bytes_read_;
+}
+
+uint64_t FileDevice::bytes_written() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return bytes_written_;
+}
+
+}  // namespace skeena

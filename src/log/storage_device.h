@@ -1,0 +1,126 @@
+#ifndef SKEENA_LOG_STORAGE_DEVICE_H_
+#define SKEENA_LOG_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skeena {
+
+/// Latency model for a simulated device.
+///
+/// The paper stresses Skeena on tmpfs ("I/O as fast as memory") and on a real
+/// SSD (Section 6.7). We reproduce both: `Tmpfs()` adds no delay, `Ssd()`
+/// spin-waits for a configurable per-operation latency so a buffer-pool miss
+/// or log flush costs what it would on the paper's 760 MB/s SSD.
+struct DeviceLatency {
+  uint64_t read_ns = 0;
+  uint64_t write_ns = 0;
+  uint64_t sync_ns = 0;
+
+  static DeviceLatency Tmpfs() { return {}; }
+  static DeviceLatency Ssd() {
+    return {.read_ns = 80'000, .write_ns = 20'000, .sync_ns = 100'000};
+  }
+  /// Models the per-page cost of the real storage stack on tmpfs-backed
+  /// files (syscall + page verification + LRU bookkeeping a production
+  /// buffer pool pays on a miss) — our in-process miss path would otherwise
+  /// be a bare memcpy. Used by the "storage-resident on tmpfs" experiments
+  /// (paper Figures 7-13); see DESIGN.md substitutions.
+  static DeviceLatency TmpfsStack() {
+    return {.read_ns = 8'000, .write_ns = 8'000, .sync_ns = 0};
+  }
+};
+
+/// Byte-addressable storage abstraction backing logs and table spaces.
+/// Implementations must be thread-safe.
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  /// Appends `data` at the end; returns the offset it was written at.
+  virtual Status Append(std::span<const uint8_t> data, uint64_t* offset) = 0;
+
+  /// Writes `data` at `offset`, extending the device if needed.
+  virtual Status WriteAt(uint64_t offset, std::span<const uint8_t> data) = 0;
+
+  /// Reads exactly `out.size()` bytes at `offset`.
+  virtual Status ReadAt(uint64_t offset, std::span<uint8_t> out) const = 0;
+
+  /// Makes all prior writes durable.
+  virtual Status Sync() = 0;
+
+  virtual uint64_t Size() const = 0;
+
+  /// Total bytes read / written (for experiment reporting).
+  virtual uint64_t bytes_read() const = 0;
+  virtual uint64_t bytes_written() const = 0;
+};
+
+/// In-memory device with optional injected latency. The default for tests
+/// and benchmarks: deterministic, no filesystem dependence, still charges
+/// the configured per-operation latency like a real device would.
+class MemDevice : public StorageDevice {
+ public:
+  explicit MemDevice(DeviceLatency latency = DeviceLatency::Tmpfs());
+
+  Status Append(std::span<const uint8_t> data, uint64_t* offset) override;
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override;
+  Status ReadAt(uint64_t offset, std::span<uint8_t> out) const override;
+  Status Sync() override;
+  uint64_t Size() const override;
+  uint64_t bytes_read() const override;
+  uint64_t bytes_written() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint8_t> data_;
+  DeviceLatency latency_;
+  mutable uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// File-backed device (pread/pwrite/fsync). Used by the durability examples
+/// and the recovery tests to survive process restarts.
+class FileDevice : public StorageDevice {
+ public:
+  /// Opens (creating if needed) the file at `path`.
+  static Result<std::unique_ptr<FileDevice>> Open(
+      const std::string& path, DeviceLatency latency = DeviceLatency::Tmpfs());
+
+  ~FileDevice() override;
+
+  Status Append(std::span<const uint8_t> data, uint64_t* offset) override;
+  Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override;
+  Status ReadAt(uint64_t offset, std::span<uint8_t> out) const override;
+  Status Sync() override;
+  uint64_t Size() const override;
+  uint64_t bytes_read() const override;
+  uint64_t bytes_written() const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileDevice(int fd, std::string path, uint64_t size, DeviceLatency latency);
+
+  mutable std::mutex mu_;
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+  DeviceLatency latency_;
+  mutable uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Busy-waits for `ns` nanoseconds to emulate device latency without the
+/// scheduler noise of sleeping (sub-100us sleeps routinely overshoot 10x).
+void SpinWaitNs(uint64_t ns);
+
+}  // namespace skeena
+
+#endif  // SKEENA_LOG_STORAGE_DEVICE_H_

@@ -1,0 +1,403 @@
+#include "memdb/mem_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/spin_latch.h"
+#include "log/log_records.h"
+
+namespace skeena::memdb {
+
+MemEngine::MemEngine(std::unique_ptr<StorageDevice> log_device,
+                     Options options)
+    : options_(options), active_(options.max_concurrent_txns) {
+  if (options_.enable_logging) {
+    log_ = std::make_unique<LogManager>(std::move(log_device), options_.log);
+  }
+}
+
+MemEngine::~MemEngine() = default;
+
+TableId MemEngine::CreateTable(const std::string& name) {
+  std::lock_guard<std::mutex> guard(tables_mu_);
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<MemTable>(id, name));
+  return id;
+}
+
+MemTable* MemEngine::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> guard(tables_mu_);
+  if (id >= tables_.size()) return nullptr;
+  return tables_[id].get();
+}
+
+MemTable* MemEngine::GetTableByName(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(tables_mu_);
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<MemTxn> MemEngine::Begin(IsolationLevel iso,
+                                         Timestamp snapshot) {
+  size_t slot = active_.Acquire();
+  active_.BeginAcquire(slot);
+  if (snapshot == kInvalidTimestamp) {
+    snapshot = LatestSnapshot();
+  }
+  active_.SetSnapshot(slot, snapshot);
+  return std::make_unique<MemTxn>(snapshot, iso, slot);
+}
+
+void MemEngine::RefreshSnapshot(MemTxn* txn) {
+  active_.BeginAcquire(txn->registry_slot());
+  txn->begin_ts_ = LatestSnapshot();
+  active_.SetSnapshot(txn->registry_slot(), txn->begin_ts_);
+}
+
+Version* MemEngine::ReadVisible(Record* rec, Timestamp snapshot) const {
+  // A committer that drew a commit timestamp <= snapshot necessarily held
+  // the record latch before our snapshot was read; wait out any in-flight
+  // install so the chain we traverse includes its version.
+  while (rec->latch.is_locked()) CpuRelax();
+  Version* v = rec->head.load(std::memory_order_acquire);
+  while (v != nullptr && v->cts > snapshot) v = v->next;
+  return v;
+}
+
+Status MemEngine::Get(MemTxn* txn, TableId table, const Key& key,
+                      std::string* value) {
+  MemTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  Record* rec = t->Find(key);
+  if (rec == nullptr) return Status::NotFound();
+
+  // Own buffered write wins.
+  size_t w = txn->FindWrite(rec);
+  if (w != MemTxn::kNone) {
+    const auto& entry = txn->writes()[w];
+    if (entry.tombstone) return Status::NotFound();
+    *value = entry.value;
+    return Status::OK();
+  }
+
+  Version* v = ReadVisible(rec, txn->begin_ts());
+  if (txn->isolation() == IsolationLevel::kSerializable) {
+    txn->AddRead(rec, rec->head.load(std::memory_order_acquire));
+  }
+  if (v == nullptr || v->tombstone) return Status::NotFound();
+  *value = v->value;
+  return Status::OK();
+}
+
+Status MemEngine::Put(MemTxn* txn, TableId table, const Key& key,
+                      std::string_view value) {
+  MemTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  Record* rec = t->FindOrCreate(key);
+  // Early write-conflict detection (the authoritative first-committer-wins
+  // check re-runs at pre-commit): only update records whose latest committed
+  // version is visible.
+  Version* head = rec->head.load(std::memory_order_acquire);
+  if (head != nullptr && head->cts > txn->begin_ts()) {
+    Abort(txn);
+    return Status::Aborted("write-write conflict");
+  }
+  txn->AddWrite(rec, table, key, std::string(value), /*tombstone=*/false);
+  return Status::OK();
+}
+
+Status MemEngine::Delete(MemTxn* txn, TableId table, const Key& key) {
+  MemTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  Record* rec = t->Find(key);
+  if (rec == nullptr) return Status::NotFound();
+  Version* head = rec->head.load(std::memory_order_acquire);
+  if (head != nullptr && head->cts > txn->begin_ts()) {
+    Abort(txn);
+    return Status::Aborted("write-write conflict");
+  }
+  txn->AddWrite(rec, table, key, std::string(), /*tombstone=*/true);
+  return Status::OK();
+}
+
+Status MemEngine::Scan(
+    MemTxn* txn, TableId table, const Key& lower, size_t limit,
+    const std::function<bool(const Key&, const std::string&)>& cb) {
+  MemTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  size_t delivered = 0;
+  t->index().ScanFrom(lower, [&](const Key& key, uint64_t value) {
+    Record* rec = reinterpret_cast<Record*>(value);
+    size_t w = txn->FindWrite(rec);
+    if (w != MemTxn::kNone) {
+      const auto& entry = txn->writes()[w];
+      if (entry.tombstone) return true;
+      delivered++;
+      if (!cb(key, entry.value)) return false;
+      return limit == 0 || delivered < limit;
+    }
+    Version* v = ReadVisible(rec, txn->begin_ts());
+    if (txn->isolation() == IsolationLevel::kSerializable) {
+      txn->AddRead(rec, rec->head.load(std::memory_order_acquire));
+    }
+    if (v == nullptr || v->tombstone) return true;
+    delivered++;
+    if (!cb(key, v->value)) return false;
+    return limit == 0 || delivered < limit;
+  });
+  return Status::OK();
+}
+
+void MemEngine::LatchWriteSet(MemTxn* txn) {
+  // Latch in address order so concurrent committers cannot deadlock.
+  auto& writes = txn->writes();
+  std::vector<Record*> recs;
+  recs.reserve(writes.size());
+  for (const auto& w : writes) recs.push_back(w.rec);
+  std::sort(recs.begin(), recs.end());
+  for (Record* r : recs) r->latch.lock();
+  txn->latched_ = true;
+}
+
+void MemEngine::UnlatchWriteSet(MemTxn* txn) {
+  if (!txn->latched_) return;
+  for (const auto& w : txn->writes()) w.rec->latch.unlock();
+  txn->latched_ = false;
+}
+
+Status MemEngine::PreCommit(MemTxn* txn, GlobalTxnId gtid,
+                            bool cross_engine) {
+  assert(txn->state_ == MemTxn::State::kActive);
+
+  if (txn->read_only()) {
+    // Reads-still-current validation gives read-only serializable
+    // transactions a serial point at commit.
+    if (txn->isolation() == IsolationLevel::kSerializable) {
+      for (const auto& r : txn->reads()) {
+        if (r.rec->head.load(std::memory_order_acquire) != r.observed_head) {
+          Abort(txn);
+          return Status::Aborted("serializability validation failed");
+        }
+      }
+    }
+    txn->commit_ts_ = txn->begin_ts();
+    txn->state_ = MemTxn::State::kPreCommitted;
+    return Status::OK();
+  }
+
+  LatchWriteSet(txn);
+  txn->commit_ts_ = clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
+
+  // First-committer-wins: the latest committed version of every written
+  // record must be visible in our snapshot.
+  for (const auto& w : txn->writes()) {
+    Version* head = w.rec->head.load(std::memory_order_acquire);
+    if (head != nullptr && head->cts > txn->begin_ts()) {
+      UnlatchWriteSet(txn);
+      Abort(txn);
+      return Status::Aborted("write-write conflict");
+    }
+  }
+
+  // OCC read validation: forbids anti-dependencies against transactions
+  // that committed after us, which yields the commit-ordering property
+  // Skeena's serializability argument needs (paper Section 4.7).
+  if (txn->isolation() == IsolationLevel::kSerializable) {
+    for (const auto& r : txn->reads()) {
+      bool own = txn->FindWrite(r.rec) != MemTxn::kNone;
+      if (!own && r.rec->latch.is_locked()) {
+        UnlatchWriteSet(txn);
+        Abort(txn);
+        return Status::Aborted("read validation: concurrent committer");
+      }
+      if (r.rec->head.load(std::memory_order_acquire) != r.observed_head) {
+        UnlatchWriteSet(txn);
+        Abort(txn);
+        return Status::Aborted("read validation: version changed");
+      }
+    }
+  }
+
+  // Cross-engine pre-commits append only the (small) commit-begin record
+  // (Section 4.6); write images are logged at post-commit. This keeps the
+  // window between the two engines' commit-timestamp assignments — during
+  // which a concurrent committer can interleave and force a commit-check
+  // abort — as short as possible.
+  if (log_ != nullptr && cross_engine) {
+    LogRecord begin;
+    begin.type = LogRecordType::kCommitBegin;
+    begin.gtid = gtid;
+    begin.cts = txn->commit_ts_;
+    std::string encoded = begin.Encode();
+    log_->Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+  }
+
+  txn->state_ = MemTxn::State::kPreCommitted;
+  return Status::OK();
+}
+
+Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
+  assert(txn->state_ == MemTxn::State::kPreCommitted);
+
+  Timestamp horizon = gc_horizon_.load(std::memory_order_acquire);
+  if (!txn->read_only()) {
+    // Log the write images (before the commit record, same log: recovery
+    // sees data before commit in FIFO order).
+    if (log_ != nullptr) {
+      LogRecord rec;
+      for (const auto& w : txn->writes()) {
+        rec.type = LogRecordType::kData;
+        rec.gtid = gtid;
+        rec.cts = txn->commit_ts_;
+        rec.table = w.table;
+        rec.tombstone = w.tombstone;
+        rec.key = w.key;
+        rec.value = w.value;
+        std::string encoded = rec.Encode();
+        log_->Append(std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(encoded.data()),
+            encoded.size()));
+      }
+    }
+    for (auto& w : txn->writes()) {
+      auto* v = new Version{txn->commit_ts_,
+                            w.rec->head.load(std::memory_order_relaxed),
+                            w.tombstone, std::move(w.value)};
+      w.rec->head.store(v, std::memory_order_release);
+      PruneVersions(v, horizon);
+    }
+    UnlatchWriteSet(txn);
+  }
+
+  Lsn lsn = 0;
+  if (log_ != nullptr &&
+      (!txn->read_only() || cross_engine || options_.log_read_only_commits)) {
+    LogRecord rec;
+    rec.type =
+        cross_engine ? LogRecordType::kCommitEnd : LogRecordType::kCommit;
+    rec.gtid = gtid;
+    rec.cts = txn->commit_ts_;
+    std::string encoded = rec.Encode();
+    lsn = log_->Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+  }
+
+  txn->state_ = MemTxn::State::kCommitted;
+  active_.Release(txn->registry_slot());
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
+  MaybeAdvanceGcHorizon();
+  return lsn;
+}
+
+void MemEngine::Abort(MemTxn* txn) {
+  if (txn->state_ == MemTxn::State::kCommitted ||
+      txn->state_ == MemTxn::State::kAborted) {
+    return;
+  }
+  UnlatchWriteSet(txn);
+  txn->state_ = MemTxn::State::kAborted;
+  active_.Release(txn->registry_slot());
+  abort_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MemEngine::PruneVersions(Version* new_head, Timestamp horizon) {
+  // Keep the newest version with cts <= horizon (the version the oldest
+  // active snapshot resolves to); everything strictly older is unreachable.
+  Version* keep = new_head;
+  while (keep != nullptr && keep->cts > horizon) keep = keep->next;
+  if (keep == nullptr) return;
+  Version* garbage = keep->next;
+  keep->next = nullptr;
+  uint64_t n = 0;
+  while (garbage != nullptr) {
+    Version* next = garbage->next;
+    delete garbage;
+    garbage = next;
+    n++;
+  }
+  if (n > 0) pruned_count_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void MemEngine::MaybeAdvanceGcHorizon() {
+  uint64_t c = commit_count_.load(std::memory_order_relaxed);
+  if (options_.gc_interval == 0 || c % options_.gc_interval != 0) return;
+  gc_horizon_.store(MinActiveSnapshot(), std::memory_order_release);
+}
+
+MemEngine::Stats MemEngine::stats() const {
+  Stats s;
+  s.commits = commit_count_.load(std::memory_order_relaxed);
+  s.aborts = abort_count_.load(std::memory_order_relaxed);
+  s.versions_pruned = pruned_count_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status MemEngine::Recover(const std::set<GlobalTxnId>& excluded) {
+  if (log_ == nullptr) return Status::OK();
+
+  struct TxnBuf {
+    std::vector<LogRecord> data;
+    bool committed = false;
+    Timestamp cts = 0;
+  };
+  std::map<GlobalTxnId, TxnBuf> txns;
+
+  LogReader reader(log_->device());
+  std::string raw;
+  while (reader.Next(&raw)) {
+    LogRecord rec;
+    if (!LogRecord::Decode(raw, &rec)) {
+      return Status::Corruption("bad memdb log record");
+    }
+    switch (rec.type) {
+      case LogRecordType::kData:
+        txns[rec.gtid].data.push_back(std::move(rec));
+        break;
+      case LogRecordType::kCommit:
+        txns[rec.gtid].committed = true;
+        txns[rec.gtid].cts = rec.cts;
+        break;
+      case LogRecordType::kCommitBegin:
+        break;
+      case LogRecordType::kCommitEnd:
+        if (excluded.count(rec.gtid) == 0) {
+          txns[rec.gtid].committed = true;
+          txns[rec.gtid].cts = rec.cts;
+        }
+        break;
+    }
+  }
+
+  // Apply committed transactions in commit-timestamp order so version
+  // chains rebuild newest-first.
+  std::vector<const TxnBuf*> committed;
+  for (const auto& [gtid, buf] : txns) {
+    if (buf.committed && !buf.data.empty()) committed.push_back(&buf);
+  }
+  std::sort(committed.begin(), committed.end(),
+            [](const TxnBuf* a, const TxnBuf* b) { return a->cts < b->cts; });
+
+  Timestamp max_cts = 1;
+  for (const TxnBuf* buf : committed) {
+    for (const LogRecord& rec : buf->data) {
+      MemTable* t = GetTable(rec.table);
+      if (t == nullptr) {
+        return Status::Corruption("memdb log references unknown table");
+      }
+      Record* r = t->FindOrCreate(rec.key);
+      auto* v = new Version{buf->cts, r->head.load(std::memory_order_relaxed),
+                            rec.tombstone, rec.value};
+      r->head.store(v, std::memory_order_release);
+    }
+    max_cts = std::max(max_cts, buf->cts);
+  }
+  clock_.store(max_cts, std::memory_order_release);
+  gc_horizon_.store(max_cts, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace skeena::memdb

@@ -1,0 +1,143 @@
+#ifndef SKEENA_MEMDB_MEM_ENGINE_H_
+#define SKEENA_MEMDB_MEM_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/active_registry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "log/log_manager.h"
+#include "memdb/mem_table.h"
+#include "memdb/mem_txn.h"
+
+namespace skeena::memdb {
+
+/// Memory-optimized MVCC engine (ERMIA-like).
+///
+/// Implements the fast half of the paper's fast-slow architecture:
+///  * snapshots are a single atomic load of the engine clock — the property
+///    that makes memdb the natural CSR *anchor engine* (Section 4.3);
+///  * commit timestamps come from an atomic fetch-add;
+///  * snapshot isolation with first-committer-wins write conflicts;
+///  * serializability via OCC read-set validation, which forbids
+///    anti-dependencies and therefore exhibits the commit-ordering property
+///    Skeena requires (Section 4.7);
+///  * pre-/post-commit split with buffered writes, so a Skeena commit-check
+///    failure after pre-commit aborts without any shared-state undo;
+///  * append-only log with group commit; log-replay recovery.
+class MemEngine {
+ public:
+  struct Options {
+    LogManager::Options log;
+    bool enable_logging = true;
+    /// ERMIA appends a commit record even for read-only transactions
+    /// (observed in paper Section 6.4); kept for fidelity, switchable for
+    /// ablations.
+    bool log_read_only_commits = true;
+    /// Refresh the cached GC horizon every N commits.
+    uint64_t gc_interval = 256;
+    size_t max_concurrent_txns = 4096;
+  };
+
+  MemEngine(std::unique_ptr<StorageDevice> log_device, Options options);
+  ~MemEngine();
+
+  MemEngine(const MemEngine&) = delete;
+  MemEngine& operator=(const MemEngine&) = delete;
+
+  // ----------------------------------------------------------- schema
+  TableId CreateTable(const std::string& name);
+  MemTable* GetTable(TableId id) const;
+  MemTable* GetTableByName(const std::string& name) const;
+
+  // ------------------------------------------------------- transactions
+  /// Latest engine snapshot: one atomic load (the cheap anchor-snapshot
+  /// acquisition the paper leverages).
+  Timestamp LatestSnapshot() const {
+    return clock_.load(std::memory_order_seq_cst);
+  }
+
+  /// Begins a transaction. `snapshot == kInvalidTimestamp` means "latest".
+  std::unique_ptr<MemTxn> Begin(IsolationLevel iso,
+                                Timestamp snapshot = kInvalidTimestamp);
+
+  /// Re-acquires the latest snapshot (read-committed mode refreshes the
+  /// snapshot on every record access, paper Table 2).
+  void RefreshSnapshot(MemTxn* txn);
+
+  Status Get(MemTxn* txn, TableId table, const Key& key, std::string* value);
+  Status Put(MemTxn* txn, TableId table, const Key& key,
+             std::string_view value);
+  Status Delete(MemTxn* txn, TableId table, const Key& key);
+
+  /// Visits visible rows with key >= lower in key order; stops when the
+  /// callback returns false or `limit` rows were delivered (0 = unlimited).
+  Status Scan(MemTxn* txn, TableId table, const Key& lower, size_t limit,
+              const std::function<bool(const Key&, const std::string&)>& cb);
+
+  /// Pre-commit: latches the write set, draws the commit timestamp
+  /// (fetch-add), validates (first-committer-wins; OCC read validation under
+  /// serializable) and logs the write images plus — for cross-engine
+  /// transactions — a commit-begin record. On failure the transaction is
+  /// fully aborted. After success the transaction may still be aborted with
+  /// Abort() (used when Skeena's commit check fails).
+  Status PreCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine);
+
+  /// Post-commit: installs the buffered versions (results become visible),
+  /// releases latches and appends the commit / commit-end record. Returns
+  /// the LSN the commit is durable at.
+  Lsn PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine);
+
+  /// Aborts an active or pre-committed transaction.
+  void Abort(MemTxn* txn);
+
+  // ------------------------------------------------------------- misc
+  LogManager* log() const { return log_.get(); }
+
+  /// Oldest snapshot any active transaction may use (GC horizon).
+  Timestamp MinActiveSnapshot() const {
+    return active_.MinActive(LatestSnapshot());
+  }
+
+  /// Replays the engine's log into the (already created) tables. Data of
+  /// cross-engine transactions whose gtid is in `excluded` is skipped —
+  /// core recovery computes that set from both engines' logs (Section 4.6).
+  Status Recover(const std::set<GlobalTxnId>& excluded);
+
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t versions_pruned = 0;
+  };
+  Stats stats() const;
+
+ private:
+  Version* ReadVisible(Record* rec, Timestamp snapshot) const;
+  void LatchWriteSet(MemTxn* txn);
+  void UnlatchWriteSet(MemTxn* txn);
+  void PruneVersions(Version* new_head, Timestamp horizon);
+  void MaybeAdvanceGcHorizon();
+
+  Options options_;
+  std::unique_ptr<LogManager> log_;
+
+  std::atomic<Timestamp> clock_{1};  // ts 1 = pre-loaded ("genesis") data
+  ActiveSnapshotRegistry active_;
+  std::atomic<Timestamp> gc_horizon_{1};
+  std::atomic<uint64_t> commit_count_{0};
+  std::atomic<uint64_t> abort_count_{0};
+  std::atomic<uint64_t> pruned_count_{0};
+
+  mutable std::mutex tables_mu_;
+  std::vector<std::unique_ptr<MemTable>> tables_;
+};
+
+}  // namespace skeena::memdb
+
+#endif  // SKEENA_MEMDB_MEM_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "memdb/mem_table.h"
+
+namespace skeena::memdb {
+
+MemTable::~MemTable() {
+  // Free all version chains. No concurrent access is allowed by contract.
+  for (auto& rec : records_) {
+    Version* v = rec->head.load(std::memory_order_relaxed);
+    while (v != nullptr) {
+      Version* next = v->next;
+      delete v;
+      v = next;
+    }
+  }
+}
+
+Record* MemTable::Find(const Key& key) const {
+  uint64_t value = 0;
+  if (!index_.Lookup(key, &value)) return nullptr;
+  return reinterpret_cast<Record*>(value);
+}
+
+Record* MemTable::FindOrCreate(const Key& key) {
+  uint64_t value = 0;
+  if (index_.Lookup(key, &value)) {
+    return reinterpret_cast<Record*>(value);
+  }
+  auto rec = std::make_unique<Record>();
+  Record* raw = rec.get();
+  if (index_.Insert(key, reinterpret_cast<uint64_t>(raw))) {
+    alloc_latch_.lock();
+    records_.push_back(std::move(rec));
+    alloc_latch_.unlock();
+    return raw;
+  }
+  // Lost the race: another thread inserted the key first.
+  bool found = index_.Lookup(key, &value);
+  (void)found;
+  return reinterpret_cast<Record*>(value);
+}
+
+}  // namespace skeena::memdb

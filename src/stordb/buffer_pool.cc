@@ -1,0 +1,171 @@
+#include "stordb/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "log/storage_device.h"
+
+namespace skeena::stordb {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_idx_, false);
+    pool_ = other.pool_;
+    frame_idx_ = other.frame_idx_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() {
+  if (pool_ != nullptr) pool_->Unpin(frame_idx_, false);
+}
+
+void PageGuard::LockShared() { pool_->frames_[frame_idx_]->latch.lock_shared(); }
+void PageGuard::UnlockShared() {
+  pool_->frames_[frame_idx_]->latch.unlock_shared();
+}
+void PageGuard::LockExclusive() { pool_->frames_[frame_idx_]->latch.lock(); }
+void PageGuard::UnlockExclusive() {
+  auto* f = pool_->frames_[frame_idx_].get();
+  f->dirty = true;
+  f->latch.unlock();
+}
+
+BufferPool::BufferPool(size_t num_pages, DeviceResolver resolver,
+                       size_t num_shards)
+    : resolver_(std::move(resolver)), shards_(num_shards) {
+  if (num_pages < num_shards) num_pages = num_shards;
+  arena_ = std::make_unique<uint8_t[]>(num_pages * kPageSize);
+  frames_.reserve(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) {
+    auto frame = std::make_unique<Frame>();
+    frame->data = arena_.get() + i * kPageSize;
+    frames_.push_back(std::move(frame));
+    shards_[i % num_shards].frame_idx.push_back(i);
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+Result<PageGuard> BufferPool::FetchPage(PageId pid) {
+  return FetchInternal(pid, /*create_new=*/false);
+}
+
+Result<PageGuard> BufferPool::NewPage(PageId pid) {
+  return FetchInternal(pid, /*create_new=*/true);
+}
+
+Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
+  Shard& shard = shards_[std::hash<PageId>{}(pid) % shards_.size()];
+
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(pid);
+  if (it != shard.table.end()) {
+    Frame* f = frames_[it->second].get();
+    f->pins.fetch_add(1, std::memory_order_relaxed);
+    f->referenced = true;
+    lock.unlock();
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    // Wait for a concurrent loader to finish populating the frame.
+    f->latch.lock_shared();
+    f->latch.unlock_shared();
+    return PageGuard(this, it->second, f->data);
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Clock sweep over this shard's frames for an unpinned victim.
+  size_t victim_idx = ~size_t{0};
+  for (size_t step = 0; step < shard.frame_idx.size() * 2 + 1; ++step) {
+    shard.clock_hand = (shard.clock_hand + 1) % shard.frame_idx.size();
+    size_t idx = shard.frame_idx[shard.clock_hand];
+    Frame* f = frames_[idx].get();
+    if (f->pins.load(std::memory_order_relaxed) != 0) continue;
+    if (f->referenced) {
+      f->referenced = false;
+      continue;
+    }
+    victim_idx = idx;
+    break;
+  }
+  if (victim_idx == ~size_t{0}) {
+    return Status::Busy("buffer pool exhausted: all pages pinned");
+  }
+
+  Frame* victim = frames_[victim_idx].get();
+  PageId old_pid = victim->pid;
+  bool old_dirty = victim->dirty;
+  bool old_loaded = victim->loaded;
+
+  victim->pins.store(1, std::memory_order_relaxed);
+  victim->referenced = true;
+  // Take the exclusive latch before publishing the new mapping so that
+  // concurrent fetchers of `pid` block until the I/O below completes.
+  victim->latch.lock();
+  if (old_loaded) shard.table.erase(old_pid);
+  shard.table[pid] = victim_idx;
+  victim->pid = pid;
+  victim->loaded = true;
+  victim->dirty = false;
+  lock.unlock();
+
+  // I/O outside the shard mutex.
+  if (old_dirty && old_loaded) {
+    StorageDevice* old_dev = resolver_(PageIdTable(old_pid));
+    uint64_t off = static_cast<uint64_t>(PageIdNo(old_pid)) * kPageSize;
+    Status s = old_dev->WriteAt(
+        off, std::span<const uint8_t>(victim->data, kPageSize));
+    if (!s.ok()) {
+      victim->latch.unlock();
+      Unpin(victim_idx, false);
+      return s;
+    }
+  }
+  if (create_new) {
+    std::memset(victim->data, 0, kPageSize);
+  } else {
+    StorageDevice* dev = resolver_(PageIdTable(pid));
+    uint64_t off = static_cast<uint64_t>(PageIdNo(pid)) * kPageSize;
+    if (off + kPageSize <= dev->Size()) {
+      Status s = dev->ReadAt(off, std::span<uint8_t>(victim->data, kPageSize));
+      if (!s.ok()) {
+        victim->latch.unlock();
+        Unpin(victim_idx, false);
+        return s;
+      }
+    } else {
+      // Page was never written back (fresh page evicted clean, or device
+      // shorter than the page): treat as zero-filled.
+      std::memset(victim->data, 0, kPageSize);
+    }
+  }
+  victim->latch.unlock();
+  return PageGuard(this, victim_idx, victim->data);
+}
+
+void BufferPool::Unpin(size_t frame_idx, bool dirty) {
+  Frame* f = frames_[frame_idx].get();
+  if (dirty) f->dirty = true;
+  f->pins.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& fptr : frames_) {
+    Frame* f = fptr.get();
+    if (!f->loaded || !f->dirty) continue;
+    f->latch.lock_shared();
+    StorageDevice* dev = resolver_(PageIdTable(f->pid));
+    uint64_t off = static_cast<uint64_t>(PageIdNo(f->pid)) * kPageSize;
+    Status s =
+        dev->WriteAt(off, std::span<const uint8_t>(f->data, kPageSize));
+    f->latch.unlock_shared();
+    if (!s.ok()) return s;
+    f->dirty = false;
+  }
+  return Status::OK();
+}
+
+}  // namespace skeena::stordb

@@ -1,0 +1,136 @@
+#ifndef SKEENA_STORDB_BUFFER_POOL_H_
+#define SKEENA_STORDB_BUFFER_POOL_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "log/storage_device.h"
+#include "stordb/page.h"
+
+namespace skeena::stordb {
+
+/// Page identifier across all table spaces: (table << 32) | page_no.
+using PageId = uint64_t;
+
+inline PageId MakePageId(TableId table, uint32_t page_no) {
+  return (static_cast<uint64_t>(table) << 32) | page_no;
+}
+inline TableId PageIdTable(PageId pid) {
+  return static_cast<TableId>(pid >> 32);
+}
+inline uint32_t PageIdNo(PageId pid) { return static_cast<uint32_t>(pid); }
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. Callers latch the page in shared or
+/// exclusive mode while reading/writing row bytes.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  uint8_t* data() const { return data_; }
+
+  void LockShared();
+  void UnlockShared();
+  void LockExclusive();
+  /// Marks the page dirty and releases the exclusive latch.
+  void UnlockExclusive();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame_idx, uint8_t* data)
+      : pool_(pool), frame_idx_(frame_idx), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_idx_ = 0;
+  uint8_t* data_ = nullptr;
+};
+
+/// Sharded buffer pool with clock eviction and dirty write-back, modeling
+/// InnoDB's buffer pool instances. The storage-resident experiments size it
+/// below the working set so row accesses traverse the storage stack — the
+/// central cost asymmetry of the paper's fast-slow architecture.
+class BufferPool {
+ public:
+  /// Resolves the device a page should be read from / written to. Supplied
+  /// by the engine (one device per table space).
+  using DeviceResolver = std::function<StorageDevice*(TableId)>;
+
+  BufferPool(size_t num_pages, DeviceResolver resolver,
+             size_t num_shards = 8);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, reading it from its device on a miss.
+  Result<PageGuard> FetchPage(PageId pid);
+
+  /// Pins a brand-new zero-filled page (no device read). The caller must
+  /// initialize it; it will reach the device on eviction / flush.
+  Result<PageGuard> NewPage(PageId pid);
+
+  /// Writes back all dirty pages (clean shutdown / checkpoint).
+  Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  double HitRatio() const {
+    uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 1.0 : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    std::shared_mutex latch;
+    std::atomic<int> pins{0};
+    PageId pid = ~0ull;
+    bool dirty = false;
+    bool referenced = false;
+    bool loaded = false;  // false until first assignment
+    uint8_t* data = nullptr;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, size_t> table;  // pid -> frame index
+    std::vector<size_t> frame_idx;             // frames owned by this shard
+    size_t clock_hand = 0;
+  };
+
+  Result<PageGuard> FetchInternal(PageId pid, bool create_new);
+  void Unpin(size_t frame_idx, bool dirty);
+
+  DeviceResolver resolver_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<uint8_t[]> arena_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace skeena::stordb
+
+#endif  // SKEENA_STORDB_BUFFER_POOL_H_

@@ -1,0 +1,591 @@
+#include "stordb/stor_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+
+#include "log/log_records.h"
+
+namespace skeena::stordb {
+
+StorEngine::StorEngine(std::unique_ptr<StorageDevice> log_device,
+                       Options options)
+    : options_(options), locks_(options.lock) {
+  if (options_.enable_logging) {
+    log_ = std::make_unique<LogManager>(std::move(log_device), options_.log);
+  }
+  if (!options_.device_factory) {
+    DeviceLatency latency = options_.data_latency;
+    options_.device_factory = [latency](const std::string&) {
+      return std::make_unique<MemDevice>(latency);
+    };
+  }
+  pool_ = std::make_unique<BufferPool>(
+      options_.buffer_pool_pages,
+      [this](TableId table) -> StorageDevice* {
+        StorTable* t = GetTable(table);
+        return t == nullptr ? nullptr : t->device.get();
+      },
+      options_.pool_shards);
+}
+
+StorEngine::~StorEngine() {
+  // The pool's final flush resolves devices through tables_; destroy it
+  // before the member destruction order would tear tables_ down first.
+  pool_.reset();
+}
+
+TableId StorEngine::CreateTable(const std::string& name,
+                                size_t max_value_size) {
+  std::lock_guard<std::mutex> guard(tables_mu_);
+  auto t = std::make_unique<StorTable>();
+  t->id = static_cast<TableId>(tables_.size());
+  t->name = name;
+  t->max_value_size = max_value_size;
+  t->slot_size = RowSlotSize(max_value_size);
+  t->slots_per_page = SlotsPerPage(max_value_size);
+  t->device = options_.device_factory(name);
+  TableId id = t->id;
+  tables_.push_back(std::move(t));
+  return id;
+}
+
+StorEngine::StorTable* StorEngine::GetTable(TableId id) const {
+  std::lock_guard<std::mutex> guard(tables_mu_);
+  if (id >= tables_.size()) return nullptr;
+  return tables_[id].get();
+}
+
+size_t StorEngine::TableRowCapacity(TableId id) const {
+  StorTable* t = GetTable(id);
+  return t == nullptr ? 0 : t->slots_per_page;
+}
+
+std::unique_ptr<StorTxn> StorEngine::Begin(IsolationLevel iso,
+                                           Timestamp snapshot) {
+  auto txn = std::make_unique<StorTxn>(iso);
+  txn->lock_owner_ = next_lock_owner_.fetch_add(1, std::memory_order_relaxed);
+  txn->pending_ser_limit_ = snapshot;
+  if (snapshot != kMaxTimestamp) {
+    // Cross-engine snapshot known up front: materialize the adjusted view
+    // immediately (Skeena selects it before any data access).
+    EnsureView(txn.get());
+  }
+  return txn;
+}
+
+void StorEngine::EnsureTid(StorTxn* txn) {
+  if (txn->tid_ != 0) return;
+  txn->tid_ = trx_sys_.AssignTid();
+  if (txn->has_view_) txn->view_.own_tid = txn->tid_;
+}
+
+void StorEngine::EnsureView(StorTxn* txn) {
+  if (txn->has_view_) return;
+  txn->view_slot_ = trx_sys_.view_registry().Acquire();
+  trx_sys_.view_registry().BeginAcquire(txn->view_slot_);
+  txn->view_ = trx_sys_.CreateReadView(txn->tid_);
+  Timestamp horizon;
+  if (txn->pending_ser_limit_ != kMaxTimestamp) {
+    txn->view_.AdjustForCrossEngine(txn->pending_ser_limit_);
+    horizon = txn->pending_ser_limit_ + 1;
+  } else {
+    horizon = txn->view_.low_water;
+  }
+  trx_sys_.view_registry().SetSnapshot(txn->view_slot_, horizon);
+  txn->has_view_ = true;
+}
+
+void StorEngine::RefreshSnapshot(StorTxn* txn, Timestamp snapshot) {
+  if (txn->has_view_) {
+    trx_sys_.view_registry().Release(txn->view_slot_);
+    txn->has_view_ = false;
+  }
+  txn->pending_ser_limit_ = snapshot;
+  EnsureView(txn);
+}
+
+Rid StorEngine::AllocateSlot(StorTable* t) {
+  std::lock_guard<std::mutex> guard(t->insert_mu);
+  if (t->pages_allocated == 0 || t->tail_slots_used == t->slots_per_page) {
+    t->pages_allocated++;
+    t->tail_slots_used = 0;
+  }
+  uint32_t page_no = t->pages_allocated - 1;
+  uint16_t slot = static_cast<uint16_t>(t->tail_slots_used++);
+  return MakeRid(t->id, page_no, slot);
+}
+
+Status StorEngine::ReadRowRaw(StorTable* t, Rid rid, RowHeader* hdr,
+                              std::string* value) {
+  auto page = pool_->FetchPage(MakePageId(t->id, RidPage(rid)));
+  if (!page.ok()) return page.status();
+  PageGuard& guard = page.value();
+  guard.LockShared();
+  const uint8_t* slot =
+      guard.data() + SlotOffset(RidSlot(rid), t->max_value_size);
+  DecodeRowHeader(slot, hdr, nullptr);
+  if (value != nullptr && hdr->vlen > 0 &&
+      hdr->vlen <= t->max_value_size) {
+    value->assign(reinterpret_cast<const char*>(RowValuePtr(slot)),
+                  hdr->vlen);
+  } else if (value != nullptr) {
+    value->clear();
+  }
+  guard.UnlockShared();
+  return Status::OK();
+}
+
+Status StorEngine::ReadVisibleRow(StorTxn* txn, StorTable* t, Rid rid,
+                                  std::string* value, bool* found) {
+  RowHeader hdr;
+  std::string cur;
+  SKEENA_RETURN_NOT_OK(ReadRowRaw(t, rid, &hdr, &cur));
+
+  uint64_t tid = hdr.tid;
+  bool deleted = hdr.deleted() || !hdr.in_use();
+  UndoRecord* roll = reinterpret_cast<UndoRecord*>(hdr.roll_ptr);
+  std::string val = std::move(cur);
+
+  bool own = txn->tid_ != 0 && tid == txn->tid_;
+  if (!own) {
+    while (!trx_sys_.Visible(txn->view_, tid)) {
+      if (roll == nullptr) {
+        *found = false;
+        return Status::OK();
+      }
+      tid = roll->old_tid;
+      val = roll->old_value;
+      deleted = roll->old_deleted;
+      roll = roll->old_roll;
+    }
+  }
+  if (deleted) {
+    *found = false;
+  } else {
+    *found = true;
+    *value = std::move(val);
+  }
+  return Status::OK();
+}
+
+Status StorEngine::Get(StorTxn* txn, TableId table, const Key& key,
+                       std::string* value) {
+  StorTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  EnsureView(txn);
+  uint64_t ridv = 0;
+  if (!t->index.Lookup(key, &ridv)) return Status::NotFound();
+  Rid rid = ridv;
+  if (txn->isolation() == IsolationLevel::kSerializable) {
+    // 2PL read lock: forbids anti-dependencies (commit ordering).
+    Status s = locks_.Lock(txn->lock_owner_, rid, LockMode::kShared);
+    if (!s.ok()) {
+      Abort(txn);
+      return s;
+    }
+    txn->locks_.push_back(rid);
+  }
+  bool found = false;
+  SKEENA_RETURN_NOT_OK(ReadVisibleRow(txn, t, rid, value, &found));
+  return found ? Status::OK() : Status::NotFound();
+}
+
+Status StorEngine::Scan(
+    StorTxn* txn, TableId table, const Key& lower, size_t limit,
+    const std::function<bool(const Key&, const std::string&)>& cb) {
+  StorTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  EnsureView(txn);
+  size_t delivered = 0;
+  Status status;
+  t->index.ScanFrom(lower, [&](const Key& key, uint64_t ridv) {
+    Rid rid = ridv;
+    if (txn->isolation() == IsolationLevel::kSerializable) {
+      Status s = locks_.Lock(txn->lock_owner_, rid, LockMode::kShared);
+      if (!s.ok()) {
+        status = s;
+        return false;
+      }
+      txn->locks_.push_back(rid);
+    }
+    bool found = false;
+    std::string value;
+    Status s = ReadVisibleRow(txn, t, rid, &value, &found);
+    if (!s.ok()) {
+      status = s;
+      return false;
+    }
+    if (!found) return true;
+    delivered++;
+    if (!cb(key, value)) return false;
+    return limit == 0 || delivered < limit;
+  });
+  if (!status.ok() && status.IsAnyAbort()) Abort(txn);
+  return status;
+}
+
+Status StorEngine::InstallRowVersion(StorTxn* txn, StorTable* t, Rid rid,
+                                     const Key& key, std::string_view value,
+                                     bool tombstone, bool fresh_insert) {
+  auto undo = std::make_unique<UndoRecord>();
+  undo->rid = rid;
+  if (fresh_insert) {
+    undo->old_tid = 0;
+    undo->old_roll = nullptr;
+    undo->old_deleted = true;
+    undo->was_insert = true;
+  } else {
+    RowHeader old_hdr;
+    std::string old_value;
+    SKEENA_RETURN_NOT_OK(ReadRowRaw(t, rid, &old_hdr, &old_value));
+    undo->old_tid = old_hdr.tid;
+    undo->old_roll = reinterpret_cast<UndoRecord*>(old_hdr.roll_ptr);
+    undo->old_value = std::move(old_value);
+    undo->old_deleted = old_hdr.deleted() || !old_hdr.in_use();
+  }
+  UndoRecord* uptr = undo.get();
+  txn->undos_.push_back(std::move(undo));
+
+  auto page = pool_->FetchPage(MakePageId(t->id, RidPage(rid)));
+  if (!page.ok()) return page.status();
+  PageGuard& guard = page.value();
+  guard.LockExclusive();
+  uint8_t* slot = guard.data() + SlotOffset(RidSlot(rid), t->max_value_size);
+  RowHeader hdr;
+  hdr.flags = RowHeader::kFlagInUse |
+              (tombstone ? RowHeader::kFlagDeleted : 0);
+  hdr.tid = txn->tid_;
+  hdr.roll_ptr = reinterpret_cast<uint64_t>(uptr);
+  hdr.vlen = static_cast<uint32_t>(value.size());
+  EncodeRowHeader(slot, hdr, key);
+  if (!value.empty()) {
+    std::memcpy(RowValuePtr(slot), value.data(), value.size());
+  }
+  guard.UnlockExclusive();
+
+  txn->redo_.push_back(RedoEntry{t->id, key, std::string(value), tombstone});
+  return Status::OK();
+}
+
+Status StorEngine::WriteRow(StorTxn* txn, StorTable* t, const Key& key,
+                            std::string_view value, bool tombstone) {
+  if (value.size() > t->max_value_size) {
+    return Status::InvalidArgument("value exceeds table max_value_size");
+  }
+  EnsureTid(txn);
+  EnsureView(txn);
+
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    uint64_t ridv = 0;
+    if (t->index.Lookup(key, &ridv)) {
+      Rid rid = ridv;
+      Status s = locks_.Lock(txn->lock_owner_, rid, LockMode::kExclusive);
+      if (!s.ok()) {
+        Abort(txn);
+        return s;
+      }
+      txn->locks_.push_back(rid);
+      // First-updater-wins under SI: the row's latest version must be
+      // visible (the prior writer has fully finished since we hold the X
+      // lock; if its commit is outside our snapshot, updating would
+      // overwrite data we cannot see).
+      RowHeader hdr;
+      SKEENA_RETURN_NOT_OK(ReadRowRaw(t, rid, &hdr, nullptr));
+      if (hdr.tid != txn->tid_ && !trx_sys_.Visible(txn->view_, hdr.tid)) {
+        Abort(txn);
+        return Status::Aborted("write-write conflict");
+      }
+      return InstallRowVersion(txn, t, rid, key, value, tombstone,
+                               /*fresh_insert=*/false);
+    }
+
+    // Insert path: claim a fresh slot, then publish it in the index.
+    Rid rid = AllocateSlot(t);
+    Status s = locks_.Lock(txn->lock_owner_, rid, LockMode::kExclusive);
+    if (!s.ok()) {
+      Abort(txn);
+      return s;
+    }
+    txn->locks_.push_back(rid);
+    if (t->index.Insert(key, rid)) {
+      return InstallRowVersion(txn, t, rid, key, value, tombstone,
+                               /*fresh_insert=*/true);
+    }
+    // Lost an insert race; retry through the update path.
+  }
+  Abort(txn);
+  return Status::Busy("insert race");
+}
+
+Status StorEngine::Put(StorTxn* txn, TableId table, const Key& key,
+                       std::string_view value) {
+  StorTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  return WriteRow(txn, t, key, value, /*tombstone=*/false);
+}
+
+Status StorEngine::Delete(StorTxn* txn, TableId table, const Key& key) {
+  StorTable* t = GetTable(table);
+  if (t == nullptr) return Status::InvalidArgument("no such table");
+  uint64_t ridv = 0;
+  if (!t->index.Lookup(key, &ridv)) return Status::NotFound();
+  return WriteRow(txn, t, key, std::string_view(), /*tombstone=*/true);
+}
+
+Status StorEngine::PreCommit(StorTxn* txn, GlobalTxnId gtid,
+                             bool cross_engine) {
+  assert(txn->state_ == StorTxn::State::kActive);
+
+  if (txn->read_only()) {
+    txn->ser_no_ = (txn->has_view_ && txn->view_.is_cross_engine())
+                       ? txn->view_.ser_limit
+                       : trx_sys_.LatestSerSnapshot();
+    txn->state_ = StorTxn::State::kPreCommitted;
+    return Status::OK();
+  }
+
+  txn->ser_no_ = trx_sys_.AssignSerNo(txn->tid_);
+
+  // Only the commit-begin marker is logged here (Section 4.6); redo images
+  // move to post-commit to keep the cross-engine timestamp-assignment
+  // window narrow (see MemEngine::PreCommit).
+  if (log_ != nullptr && cross_engine) {
+    LogRecord begin;
+    begin.type = LogRecordType::kCommitBegin;
+    begin.gtid = gtid;
+    begin.cts = txn->ser_no_;
+    std::string encoded = begin.Encode();
+    log_->Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+  }
+
+  txn->state_ = StorTxn::State::kPreCommitted;
+  return Status::OK();
+}
+
+Lsn StorEngine::PostCommit(StorTxn* txn, GlobalTxnId gtid, bool cross_engine) {
+  assert(txn->state_ == StorTxn::State::kPreCommitted);
+
+  if (log_ != nullptr && !txn->read_only()) {
+    LogRecord rec;
+    for (const RedoEntry& r : txn->redo_) {
+      rec.type = LogRecordType::kData;
+      rec.gtid = gtid;
+      rec.cts = txn->ser_no_;
+      rec.table = r.table;
+      rec.tombstone = r.tombstone;
+      rec.key = r.key;
+      rec.value = r.value;
+      std::string encoded = rec.Encode();
+      log_->Append(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+    }
+  }
+  if (!txn->read_only()) {
+    trx_sys_.MarkCommitted(txn->tid_);
+  }
+  Lsn lsn = 0;
+  if (log_ != nullptr && (!txn->read_only() || cross_engine)) {
+    LogRecord rec;
+    rec.type =
+        cross_engine ? LogRecordType::kCommitEnd : LogRecordType::kCommit;
+    rec.gtid = gtid;
+    rec.cts = txn->ser_no_;
+    std::string encoded = rec.Encode();
+    lsn = log_->Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+  }
+  txn->state_ = StorTxn::State::kCommitted;
+  FinishTxn(txn);
+  commit_count_.fetch_add(1, std::memory_order_relaxed);
+  MaybePurge();
+  return lsn;
+}
+
+void StorEngine::Abort(StorTxn* txn) {
+  if (txn->state_ == StorTxn::State::kCommitted ||
+      txn->state_ == StorTxn::State::kAborted) {
+    return;
+  }
+  if (txn->tid_ != 0) {
+    trx_sys_.MarkAborting(txn->tid_);
+    Rollback(txn);
+    trx_sys_.FinishAbort(txn->tid_);
+  }
+  txn->state_ = StorTxn::State::kAborted;
+  FinishTxn(txn);
+  abort_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StorEngine::Rollback(StorTxn* txn) {
+  // Restore before-images newest-first.
+  for (auto it = txn->undos_.rbegin(); it != txn->undos_.rend(); ++it) {
+    UndoRecord* u = it->get();
+    StorTable* t = GetTable(RidTable(u->rid));
+    auto page = pool_->FetchPage(MakePageId(t->id, RidPage(u->rid)));
+    if (!page.ok()) continue;  // device error: row stays invisible (aborted)
+    PageGuard& guard = page.value();
+    guard.LockExclusive();
+    uint8_t* slot =
+        guard.data() + SlotOffset(RidSlot(u->rid), t->max_value_size);
+    RowHeader hdr;
+    hdr.flags = RowHeader::kFlagInUse |
+                (u->old_deleted ? RowHeader::kFlagDeleted : 0);
+    hdr.tid = u->old_tid;
+    hdr.roll_ptr = reinterpret_cast<uint64_t>(u->old_roll);
+    hdr.vlen = static_cast<uint32_t>(u->old_value.size());
+    EncodeRowHeaderFields(slot, hdr);
+    if (!u->old_value.empty()) {
+      std::memcpy(RowValuePtr(slot), u->old_value.data(),
+                  u->old_value.size());
+    }
+    guard.UnlockExclusive();
+  }
+}
+
+void StorEngine::FinishTxn(StorTxn* txn) {
+  locks_.ReleaseAll(txn->lock_owner_, txn->locks_);
+  txn->locks_.clear();
+  if (txn->has_view_) {
+    trx_sys_.view_registry().Release(txn->view_slot_);
+    txn->has_view_ = false;
+  }
+  RetireUndos(txn);
+}
+
+void StorEngine::RetireUndos(StorTxn* txn) {
+  if (txn->undos_.empty()) return;
+  // Undo images must outlive every view that may still walk them; retire
+  // under the transaction's commit order (aborted transactions use the
+  // current counter as a conservative bound).
+  uint64_t ser = txn->ser_no_ != 0 ? txn->ser_no_
+                                   : trx_sys_.LatestSerSnapshot() + 1;
+  std::lock_guard<std::mutex> guard(retired_mu_);
+  retired_.push_back(RetiredUndo{ser, std::move(txn->undos_)});
+}
+
+void StorEngine::MaybePurge() {
+  uint64_t c = commit_count_.load(std::memory_order_relaxed);
+  if (options_.purge_interval == 0 || c % options_.purge_interval != 0) return;
+  uint64_t min_ser = trx_sys_.MinActiveViewSer();
+  trx_sys_.PurgeStates(min_ser);
+  std::vector<RetiredUndo> dropped;
+  {
+    std::lock_guard<std::mutex> guard(retired_mu_);
+    auto it = std::partition(
+        retired_.begin(), retired_.end(),
+        [min_ser](const RetiredUndo& r) { return r.ser >= min_ser; });
+    for (auto d = it; d != retired_.end(); ++d) {
+      dropped.push_back(std::move(*d));
+    }
+    retired_.erase(it, retired_.end());
+  }
+  for (const auto& d : dropped) {
+    undo_purged_.fetch_add(d.undos.size(), std::memory_order_relaxed);
+  }
+  // `dropped` destructs outside the mutex.
+}
+
+StorEngine::Stats StorEngine::stats() const {
+  Stats s;
+  s.commits = commit_count_.load(std::memory_order_relaxed);
+  s.aborts = abort_count_.load(std::memory_order_relaxed);
+  s.undo_purged = undo_purged_.load(std::memory_order_relaxed);
+  s.pool_hit_ratio = pool_->HitRatio();
+  return s;
+}
+
+Status StorEngine::RecoveryApply(StorTable* t, const Key& key,
+                                 const std::string& value, bool tombstone) {
+  uint64_t ridv = 0;
+  Rid rid;
+  bool fresh = false;
+  if (t->index.Lookup(key, &ridv)) {
+    rid = ridv;
+  } else {
+    rid = AllocateSlot(t);
+    t->index.Insert(key, rid);
+    fresh = true;
+  }
+  (void)fresh;
+  auto page = pool_->FetchPage(MakePageId(t->id, RidPage(rid)));
+  if (!page.ok()) return page.status();
+  PageGuard& guard = page.value();
+  guard.LockExclusive();
+  uint8_t* slot = guard.data() + SlotOffset(RidSlot(rid), t->max_value_size);
+  RowHeader hdr;
+  hdr.flags =
+      RowHeader::kFlagInUse | (tombstone ? RowHeader::kFlagDeleted : 0);
+  hdr.tid = 1;  // genesis: anciently committed
+  hdr.roll_ptr = 0;
+  hdr.vlen = static_cast<uint32_t>(value.size());
+  EncodeRowHeader(slot, hdr, key);
+  if (!value.empty()) {
+    std::memcpy(RowValuePtr(slot), value.data(), value.size());
+  }
+  guard.UnlockExclusive();
+  return Status::OK();
+}
+
+Status StorEngine::Recover(const std::set<GlobalTxnId>& excluded) {
+  if (log_ == nullptr) return Status::OK();
+
+  struct TxnBuf {
+    std::vector<LogRecord> data;
+    bool committed = false;
+    Timestamp cts = 0;
+  };
+  std::map<GlobalTxnId, TxnBuf> txns;
+
+  LogReader reader(log_->device());
+  std::string raw;
+  while (reader.Next(&raw)) {
+    LogRecord rec;
+    if (!LogRecord::Decode(raw, &rec)) {
+      return Status::Corruption("bad stordb log record");
+    }
+    switch (rec.type) {
+      case LogRecordType::kData:
+        txns[rec.gtid].data.push_back(std::move(rec));
+        break;
+      case LogRecordType::kCommit:
+        txns[rec.gtid].committed = true;
+        txns[rec.gtid].cts = rec.cts;
+        break;
+      case LogRecordType::kCommitBegin:
+        break;
+      case LogRecordType::kCommitEnd:
+        if (excluded.count(rec.gtid) == 0) {
+          txns[rec.gtid].committed = true;
+          txns[rec.gtid].cts = rec.cts;
+        }
+        break;
+    }
+  }
+
+  std::vector<const TxnBuf*> committed;
+  for (const auto& [gtid, buf] : txns) {
+    if (buf.committed && !buf.data.empty()) committed.push_back(&buf);
+  }
+  std::sort(committed.begin(), committed.end(),
+            [](const TxnBuf* a, const TxnBuf* b) { return a->cts < b->cts; });
+
+  Timestamp max_cts = 1;
+  for (const TxnBuf* buf : committed) {
+    for (const LogRecord& rec : buf->data) {
+      StorTable* t = GetTable(rec.table);
+      if (t == nullptr) {
+        return Status::Corruption("stordb log references unknown table");
+      }
+      SKEENA_RETURN_NOT_OK(RecoveryApply(t, rec.key, rec.value,
+                                         rec.tombstone));
+    }
+    max_cts = std::max(max_cts, buf->cts);
+  }
+  trx_sys_.AdvanceTo(max_cts + 1);
+  return Status::OK();
+}
+
+}  // namespace skeena::stordb

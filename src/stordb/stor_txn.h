@@ -1,0 +1,89 @@
+#ifndef SKEENA_STORDB_STOR_TXN_H_
+#define SKEENA_STORDB_STOR_TXN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/types.h"
+#include "stordb/page.h"
+#include "stordb/trx_sys.h"
+
+namespace skeena::stordb {
+
+/// Before-image of a row, linked into the row's roll-pointer chain.
+/// Readers whose view cannot see the row's current version walk this chain
+/// applying old images until a visible version is found — InnoDB-style
+/// version reconstruction from undo (paper Section 5).
+struct UndoRecord {
+  Rid rid = 0;
+  uint64_t old_tid = 0;
+  UndoRecord* old_roll = nullptr;
+  std::string old_value;
+  bool old_deleted = false;
+  bool was_insert = false;  // the row did not exist before this write
+};
+
+/// After-image buffered for the redo log (written at pre-commit).
+struct RedoEntry {
+  TableId table;
+  Key key;
+  std::string value;
+  bool tombstone;
+};
+
+/// A stordb (sub-)transaction.
+///
+/// Writes are performed in place under record X locks with before-images
+/// pushed to the undo chain, so other transactions read through their views
+/// while this one is active, and rollback restores the old images. The
+/// pre-/post-commit split (serialisation_no assignment vs. making the
+/// commit visible and releasing locks) is the interface Skeena's commit
+/// protocol drives (paper Sections 4.5 and 5).
+class StorTxn {
+ public:
+  enum class State : uint8_t {
+    kActive,
+    kPreCommitted,
+    kCommitted,
+    kAborted,
+  };
+
+  explicit StorTxn(IsolationLevel iso) : iso_(iso) {}
+
+  StorTxn(const StorTxn&) = delete;
+  StorTxn& operator=(const StorTxn&) = delete;
+
+  IsolationLevel isolation() const { return iso_; }
+  State state() const { return state_; }
+  uint64_t tid() const { return tid_; }
+  uint64_t ser_no() const { return ser_no_; }
+  bool read_only() const { return redo_.empty(); }
+  const ReadView& view() const { return view_; }
+  bool has_view() const { return has_view_; }
+
+ private:
+  friend class StorEngine;
+
+  IsolationLevel iso_;
+  State state_ = State::kActive;
+  uint64_t tid_ = 0;     // assigned at first write (InnoDB-style)
+  uint64_t ser_no_ = 0;  // assigned at pre-commit
+  uint64_t lock_owner_ = 0;  // distinct id for the lock manager
+
+  ReadView view_;
+  bool has_view_ = false;
+  size_t view_slot_ = ~size_t{0};
+  // Desired cross-engine snapshot for lazily created views
+  // (kMaxTimestamp = native view).
+  uint64_t pending_ser_limit_ = kMaxTimestamp;
+
+  std::vector<std::unique_ptr<UndoRecord>> undos_;  // oldest first
+  std::vector<RedoEntry> redo_;
+  std::vector<Rid> locks_;
+};
+
+}  // namespace skeena::stordb
+
+#endif  // SKEENA_STORDB_STOR_TXN_H_

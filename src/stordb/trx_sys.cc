@@ -1,0 +1,134 @@
+#include "stordb/trx_sys.h"
+
+#include <algorithm>
+
+namespace skeena::stordb {
+
+TrxSys::TrxSys() {
+  // Genesis transaction: initial table loads are stamped tid 1 / ser 1.
+  states_.Put(1, StateSnapshot{TxnState::kCommitted, 1});
+}
+
+uint64_t TrxSys::AssignTid() {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t tid = next_tid_++;
+  active_tids_.insert(tid);
+  last_allocated_.store(tid, std::memory_order_release);
+  states_.Put(tid, StateSnapshot{TxnState::kActive, 0});
+  return tid;
+}
+
+uint64_t TrxSys::AssignSerNo(uint64_t tid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t ser = next_tid_++;
+  last_allocated_.store(ser, std::memory_order_release);
+  states_.Put(tid, StateSnapshot{TxnState::kPreCommitted, ser});
+  return ser;
+}
+
+void TrxSys::MarkCommitted(uint64_t tid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto st = states_.Get(tid);
+  states_.Put(tid, StateSnapshot{TxnState::kCommitted,
+                                 st.has_value() ? st->ser : 0});
+  active_tids_.erase(tid);
+}
+
+void TrxSys::MarkAborting(uint64_t tid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto st = states_.Get(tid);
+  states_.Put(tid, StateSnapshot{TxnState::kAborted,
+                                 st.has_value() ? st->ser : 0});
+  // The TID intentionally stays in active_tids_ until FinishAbort().
+}
+
+void TrxSys::FinishAbort(uint64_t tid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  active_tids_.erase(tid);
+}
+
+ReadView TrxSys::CreateReadView(uint64_t own_tid) {
+  ReadView view;
+  std::lock_guard<std::mutex> guard(mu_);
+  view.high_water = next_tid_;
+  view.low_water =
+      active_tids_.empty() ? next_tid_ : *active_tids_.begin();
+  view.active.assign(active_tids_.begin(), active_tids_.end());
+  view.own_tid = own_tid;
+  return view;
+}
+
+TrxSys::StateSnapshot TrxSys::GetState(uint64_t tid) const {
+  auto st = states_.Get(tid);
+  if (!st.has_value()) {
+    // Purged: resolved long before any live view.
+    return StateSnapshot{TxnState::kCommitted, 0};
+  }
+  return *st;
+}
+
+bool TrxSys::VisibleInCrossView(uint64_t tid, uint64_t ser_limit) const {
+  while (true) {
+    StateSnapshot st = GetState(tid);
+    switch (st.state) {
+      case TxnState::kCommitted:
+        return st.ser <= ser_limit;
+      case TxnState::kAborted:
+        return false;
+      case TxnState::kActive:
+        return false;
+      case TxnState::kPreCommitted:
+        if (st.ser > ser_limit) return false;
+        // A pre-committed transaction whose commit order falls inside our
+        // snapshot will commit momentarily (the CSR mapping that produced
+        // ser_limit is only installed once commit is unconditional); spin
+        // until it resolves.
+        CpuRelax();
+        break;
+    }
+  }
+}
+
+bool TrxSys::VisibleInNativeView(const ReadView& view, uint64_t tid) {
+  if (tid == view.own_tid) return true;
+  if (tid < view.low_water) return true;
+  if (tid >= view.high_water) return false;
+  return !view.ContainsActive(tid);
+}
+
+bool TrxSys::Visible(const ReadView& view, uint64_t tid) const {
+  if (tid == view.own_tid) return true;
+  if (view.is_cross_engine()) {
+    // Fast reject retained from the watermark adjustment.
+    if (tid >= view.high_water) return false;
+    return VisibleInCrossView(tid, view.ser_limit);
+  }
+  return VisibleInNativeView(view, tid);
+}
+
+size_t TrxSys::PurgeStates(uint64_t min_ser) {
+  uint64_t aborted_limit = prev_purge_min_;
+  prev_purge_min_ = min_ser;
+  return states_.EraseIf(
+      [min_ser, aborted_limit](const uint64_t&, const StateSnapshot& st) {
+        if (st.ser == 0) return false;
+        if (st.state == TxnState::kCommitted) return st.ser < min_ser;
+        if (st.state == TxnState::kAborted) return st.ser < aborted_limit;
+        return false;
+      });
+}
+
+void TrxSys::AdvanceTo(uint64_t next) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (next > next_tid_) {
+    next_tid_ = next;
+    last_allocated_.store(next - 1, std::memory_order_release);
+  }
+}
+
+size_t TrxSys::ActiveCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return active_tids_.size();
+}
+
+}  // namespace skeena::stordb

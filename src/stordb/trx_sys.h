@@ -1,0 +1,152 @@
+#ifndef SKEENA_STORDB_TRX_SYS_H_
+#define SKEENA_STORDB_TRX_SYS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/active_registry.h"
+#include "common/spin_latch.h"
+#include "common/types.h"
+#include "index/concurrent_hash_map.h"
+
+namespace skeena::stordb {
+
+/// Lifecycle of a stordb transaction as seen by visibility checks.
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kPreCommitted,  // serialisation_no assigned, outcome decided soon
+  kCommitted,
+  kAborted,
+};
+
+/// InnoDB-style read view: watermarks plus the list of transactions active
+/// when the view was created (paper Section 5).
+///
+/// Cross-engine (Skeena-selected) views additionally carry `ser_limit`:
+/// the CSR hands back a *commit* timestamp in this engine, and visibility
+/// must follow commit order, not TID-assignment order — a transaction with
+/// a small TID can commit late with a large serialisation_no and must stay
+/// invisible to an adjusted view. The paper's MySQL integration adjusts the
+/// high watermark (Section 5); we keep that adjustment as the fast reject
+/// and make the commit-order check authoritative via the TrxSys state table.
+struct ReadView {
+  uint64_t high_water = 0;  // TIDs >= this started after view creation
+  uint64_t low_water = 0;   // TIDs < this committed before view creation
+  std::vector<uint64_t> active;  // sorted TIDs active at creation
+  uint64_t ser_limit = kMaxTimestamp;  // cross-engine commit-order limit
+  uint64_t own_tid = 0;
+
+  bool is_cross_engine() const { return ser_limit != kMaxTimestamp; }
+
+  /// Applies the Skeena high-watermark adjustment (paper Section 5): lower
+  /// the high watermark to the selected snapshot; if it drops below the low
+  /// watermark, clamp both.
+  void AdjustForCrossEngine(uint64_t selected_ser) {
+    ser_limit = selected_ser;
+    if (selected_ser + 1 < high_water) high_water = selected_ser + 1;
+    if (high_water < low_water) low_water = high_water;
+  }
+
+  bool ContainsActive(uint64_t tid) const {
+    return std::binary_search(active.begin(), active.end(), tid);
+  }
+};
+
+/// Central transaction bookkeeping, deliberately mirroring InnoDB's cost
+/// profile: TIDs and read views are handed out under one trx-sys mutex
+/// (the expensive snapshot acquisition that disqualifies stordb as the CSR
+/// anchor, paper Section 4.3).
+class TrxSys {
+ public:
+  TrxSys();
+
+  /// Assigns a TID to a read-write transaction and adds it to the active
+  /// set (under the trx-sys mutex, as in InnoDB).
+  uint64_t AssignTid();
+
+  /// Pre-commit: draws the serialisation number from the shared counter and
+  /// publishes state kPreCommitted (paper Section 5: InnoDB's
+  /// serialisation_no denotes commit ordering and is what Skeena's commit
+  /// check consumes).
+  uint64_t AssignSerNo(uint64_t tid);
+
+  /// Post-commit: removes the TID from the active set and publishes
+  /// kCommitted.
+  void MarkCommitted(uint64_t tid);
+
+  /// Rollback protocol: MarkAborting() publishes kAborted *before* undo is
+  /// applied (cross-engine views stop trusting the row images immediately)
+  /// but keeps the TID in the active set so native views created mid-
+  /// rollback still treat it as active; FinishAbort() removes it once the
+  /// old images are restored — mirroring InnoDB, where a transaction stays
+  /// in the active list while rolling back.
+  void MarkAborting(uint64_t tid);
+  void FinishAbort(uint64_t tid);
+
+  /// Creates a native read view (watermarks + active list) under the
+  /// trx-sys mutex.
+  ReadView CreateReadView(uint64_t own_tid);
+
+  /// Latest commit-order snapshot for CSR's "use the latest e2 snapshot"
+  /// fallback (Algorithm 1 line 6): every serialisation_no <= this value
+  /// belongs to a transaction that has at least pre-committed; visibility
+  /// waits out the pre-committed ones.
+  uint64_t LatestSerSnapshot() const {
+    return last_allocated_.load(std::memory_order_acquire) ;
+  }
+
+  /// State lookup for commit-order visibility. Unknown TIDs are treated as
+  /// anciently committed (their state entries have been purged).
+  struct StateSnapshot {
+    TxnState state;
+    uint64_t ser;
+  };
+  StateSnapshot GetState(uint64_t tid) const;
+
+  /// Commit-order visibility for cross-engine views: waits out transactions
+  /// that pre-committed with ser <= limit (their outcome is imminent —
+  /// after Skeena's commit check passes, post-commit is unconditional).
+  bool VisibleInCrossView(uint64_t tid, uint64_t ser_limit) const;
+
+  /// Native InnoDB-style visibility.
+  static bool VisibleInNativeView(const ReadView& view, uint64_t tid);
+
+  /// Uniform entry point.
+  bool Visible(const ReadView& view, uint64_t tid) const;
+
+  /// Registry of view birth counters, for purging state entries and undo.
+  ActiveSnapshotRegistry& view_registry() { return views_; }
+  uint64_t MinActiveViewSer() {
+    return views_.MinActive(LatestSerSnapshot());
+  }
+
+  /// Drops state entries of transactions resolved before `min_ser`.
+  /// Committed entries are purged eagerly (a purged entry reads as
+  /// "anciently committed", which is what min_ser guarantees); aborted
+  /// entries get one extra purge round of grace so a reader holding a
+  /// microseconds-stale row copy never mistakes an aborted writer for an
+  /// ancient commit. Returns number purged.
+  size_t PurgeStates(uint64_t min_ser);
+
+  /// Fast-forwards the TID/serialisation counter after recovery.
+  void AdvanceTo(uint64_t next);
+
+  size_t ActiveCount() const;
+
+ private:
+  mutable std::mutex mu_;  // the trx-sys mutex
+  uint64_t next_tid_ = 2;  // tid 1 = genesis loader
+  std::set<uint64_t> active_tids_;
+  std::atomic<uint64_t> last_allocated_{1};
+
+  mutable ConcurrentHashMap<uint64_t, StateSnapshot> states_;
+  ActiveSnapshotRegistry views_;
+  uint64_t prev_purge_min_ = 0;  // guarded by callers' purge serialization
+};
+
+}  // namespace skeena::stordb
+
+#endif  // SKEENA_STORDB_TRX_SYS_H_

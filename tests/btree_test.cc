@@ -1,0 +1,286 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace skeena {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  uint64_t v = 0;
+  EXPECT_FALSE(tree.Lookup(MakeKey(1), &v));
+  EXPECT_EQ(tree.size(), 0u);
+  size_t visited = tree.ScanFrom(kMinKey, [](const Key&, uint64_t) {
+    return true;
+  });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(BTreeTest, InsertLookup) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert(MakeKey(5), 50));
+  EXPECT_TRUE(tree.Insert(MakeKey(3), 30));
+  EXPECT_FALSE(tree.Insert(MakeKey(5), 99)) << "duplicate insert must fail";
+  uint64_t v = 0;
+  ASSERT_TRUE(tree.Lookup(MakeKey(5), &v));
+  EXPECT_EQ(v, 50u) << "failed duplicate insert must not clobber";
+  ASSERT_TRUE(tree.Lookup(MakeKey(3), &v));
+  EXPECT_EQ(v, 30u);
+  EXPECT_FALSE(tree.Lookup(MakeKey(4), &v));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BTreeTest, UpsertOverwrites) {
+  BTree tree;
+  EXPECT_TRUE(tree.Upsert(MakeKey(7), 1));
+  EXPECT_FALSE(tree.Upsert(MakeKey(7), 2));
+  uint64_t v = 0;
+  ASSERT_TRUE(tree.Lookup(MakeKey(7), &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, ManyInsertsSplitAndStaySorted) {
+  BTree tree;
+  constexpr uint64_t kN = 10000;
+  // Insert in a scrambled order to exercise splits everywhere.
+  std::vector<uint64_t> keys(kN);
+  for (uint64_t i = 0; i < kN; ++i) keys[i] = i;
+  Rng rng(11);
+  for (uint64_t i = kN - 1; i > 0; --i) {
+    std::swap(keys[i], keys[rng.Uniform(i + 1)]);
+  }
+  for (uint64_t k : keys) ASSERT_TRUE(tree.Insert(MakeKey(k), k * 10));
+  EXPECT_EQ(tree.size(), kN);
+  EXPECT_GT(tree.Height(), 2u);
+
+  for (uint64_t k = 0; k < kN; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree.Lookup(MakeKey(k), &v)) << k;
+    EXPECT_EQ(v, k * 10);
+  }
+
+  // Full scan returns every key in order.
+  uint64_t expected = 0;
+  size_t n = tree.ScanFrom(kMinKey, [&](const Key& key, uint64_t value) {
+    EXPECT_EQ(KeyPrefixU64(key), expected);
+    EXPECT_EQ(value, expected * 10);
+    expected++;
+    return true;
+  });
+  EXPECT_EQ(n, kN);
+}
+
+TEST(BTreeTest, ScanFromMidpointAndEarlyStop) {
+  BTree tree;
+  for (uint64_t k = 0; k < 100; ++k) tree.Insert(MakeKey(k * 2), k);
+  // Lower bound between keys: starts at the next key up.
+  std::vector<uint64_t> seen;
+  tree.ScanFrom(MakeKey(51), [&](const Key& key, uint64_t) {
+    seen.push_back(KeyPrefixU64(key));
+    return seen.size() < 5;
+  });
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.front(), 52u);
+  EXPECT_EQ(seen.back(), 60u);
+}
+
+TEST(BTreeTest, ScanRespectsExactLowerBound) {
+  BTree tree;
+  tree.Insert(MakeKey(10), 1);
+  tree.Insert(MakeKey(20), 2);
+  std::vector<uint64_t> seen;
+  tree.ScanFrom(MakeKey(10), [&](const Key& key, uint64_t) {
+    seen.push_back(KeyPrefixU64(key));
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 10u) << "lower bound is inclusive";
+}
+
+TEST(BTreeTest, PrefixScanOverCompositeKeys) {
+  // TPC-C style (w_id, d_id, o_id) keys: scanning a (w_id, d_id) prefix
+  // must deliver exactly that district's orders in order.
+  BTree tree;
+  for (uint16_t w = 1; w <= 3; ++w) {
+    for (uint8_t d = 1; d <= 3; ++d) {
+      for (uint32_t o = 1; o <= 10; ++o) {
+        KeyBuilder b;
+        b.AppendU16(w).AppendU8(d).AppendU32(o);
+        tree.Insert(b.Build(), w * 1000 + d * 100 + o);
+      }
+    }
+  }
+  KeyBuilder prefix;
+  prefix.AppendU16(2).AppendU8(2);
+  size_t count = 0;
+  uint32_t last_o = 0;
+  tree.ScanFrom(prefix.Build(), [&](const Key& key, uint64_t value) {
+    if (!KeyHasPrefix(key, prefix.Build(), 3)) return false;
+    EXPECT_EQ(value / 100, 22u);
+    EXPECT_GT(static_cast<uint32_t>(value % 100), last_o);
+    last_o = static_cast<uint32_t>(value % 100);
+    count++;
+    return true;
+  });
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(BTreeTest, DescendingOrderViaComplementEncoding) {
+  // Order-Status wants the newest order first; we encode o_id complements.
+  BTree tree;
+  for (uint32_t o = 1; o <= 100; ++o) {
+    KeyBuilder b;
+    b.AppendU16(1).AppendU32(~o);
+    tree.Insert(b.Build(), o);
+  }
+  KeyBuilder prefix;
+  prefix.AppendU16(1);
+  uint64_t first = 0;
+  tree.ScanFrom(prefix.Build(), [&](const Key&, uint64_t value) {
+    first = value;
+    return false;  // newest only
+  });
+  EXPECT_EQ(first, 100u);
+}
+
+TEST(BTreeTest, ConcurrentDisjointInserts) {
+  BTree tree;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        uint64_t k = static_cast<uint64_t>(t) * kPerThread + i;
+        ASSERT_TRUE(tree.Insert(MakeKey(k), k));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tree.size(), kThreads * kPerThread);
+  for (uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree.Lookup(MakeKey(k), &v)) << k;
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(BTreeTest, ConcurrentOverlappingInsertsExactlyOneWinner) {
+  BTree tree;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kKeys = 5000;
+  std::atomic<uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        if (tree.Insert(MakeKey(k), t)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys) << "each key must have exactly one winner";
+  EXPECT_EQ(tree.size(), kKeys);
+}
+
+TEST(BTreeTest, ConcurrentReadersDuringInserts) {
+  BTree tree;
+  constexpr uint64_t kN = 50000;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reader_errors{0};
+
+  std::thread writer([&] {
+    for (uint64_t k = 0; k < kN; ++k) tree.Insert(MakeKey(k), k + 1);
+    done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(t + 100);
+      while (!done.load()) {
+        uint64_t k = rng.Uniform(kN);
+        uint64_t v = 0;
+        if (tree.Lookup(MakeKey(k), &v) && v != k + 1) {
+          reader_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread scanner([&] {
+    while (!done.load()) {
+      uint64_t prev = 0;
+      bool first = true;
+      tree.ScanFrom(kMinKey, [&](const Key& key, uint64_t) {
+        uint64_t k = KeyPrefixU64(key);
+        if (!first && k <= prev) reader_errors.fetch_add(1);
+        prev = k;
+        first = false;
+        return true;
+      });
+    }
+  });
+
+  writer.join();
+  for (auto& th : readers) th.join();
+  scanner.join();
+  EXPECT_EQ(reader_errors.load(), 0u);
+  EXPECT_EQ(tree.size(), kN);
+}
+
+// Property sweep: model-check against std::map across sizes and patterns.
+class BTreeModelTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BTreeModelTest, MatchesStdMap) {
+  auto [pattern, n] = GetParam();
+  BTree tree;
+  std::map<Key, uint64_t> model;
+  Rng rng(pattern * 1000 + static_cast<int>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t k;
+    switch (pattern) {
+      case 0: k = i; break;                      // ascending
+      case 1: k = n - i; break;                  // descending
+      case 2: k = rng.Uniform(n * 2); break;     // random sparse
+      default: k = rng.Uniform(n / 4 + 1); break;  // heavy duplicates
+    }
+    Key key = MakeKey(k);
+    bool inserted = tree.Insert(key, i);
+    bool model_inserted = model.emplace(key, i).second;
+    ASSERT_EQ(inserted, model_inserted) << "key " << k << " at step " << i;
+  }
+  ASSERT_EQ(tree.size(), model.size());
+  // Every model entry present with the right value.
+  for (const auto& [key, value] : model) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree.Lookup(key, &v));
+    ASSERT_EQ(v, value);
+  }
+  // Scan equals ordered model iteration.
+  auto it = model.begin();
+  tree.ScanFrom(kMinKey, [&](const Key& key, uint64_t value) {
+    EXPECT_NE(it, model.end());
+    EXPECT_EQ(key, it->first);
+    EXPECT_EQ(value, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, BTreeModelTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(10ull, 100ull, 1000ull, 20000ull)));
+
+}  // namespace
+}  // namespace skeena

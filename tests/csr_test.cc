@@ -1,0 +1,389 @@
+#include "core/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace skeena {
+namespace {
+
+SnapshotRegistry::Options SmallOptions(size_t capacity = 4,
+                                       uint64_t recycle = 0) {
+  SnapshotRegistry::Options o;
+  o.partition_capacity = capacity;
+  o.recycle_period = recycle;
+  return o;
+}
+
+// ------------------------------------------------ Algorithm 1 (selection)
+
+TEST(CsrSelectTest, EmptyRegistryUsesLatest) {
+  SnapshotRegistry csr(SmallOptions());
+  auto sel = csr.SelectSnapshot(100, [] { return Timestamp{777}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 777u);
+  EXPECT_EQ(csr.EntryCount(), 1u) << "the mapping must be recorded (line 10)";
+}
+
+TEST(CsrSelectTest, PredecessorMappingWins) {
+  SnapshotRegistry csr(SmallOptions(100));
+  // Commit history: anchor 10 -> other 1000; anchor 20 -> other 2000.
+  ASSERT_TRUE(csr.CommitCheck(10, 1000).ok());
+  ASSERT_TRUE(csr.CommitCheck(20, 2000).ok());
+
+  // A transaction with anchor snapshot 15 must select 1000 (the latest
+  // other-engine snapshot mapped to a key <= 15) — NOT the latest (Fig 2a
+  // prevention: taking the latest would order it after anchor-20's txn).
+  auto sel = csr.SelectSnapshot(15, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 1000u);
+}
+
+TEST(CsrSelectTest, ExactKeyMatchReusesMapping) {
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 1000).ok());
+  auto sel = csr.SelectSnapshot(10, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 1000u);
+}
+
+TEST(CsrSelectTest, LatestWhenNewerThanAllMappings) {
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 1000).ok());
+  auto sel = csr.SelectSnapshot(50, [] { return Timestamp{5000}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 1000u)
+      << "pred mapping at key 10 is the latest candidate <= 50";
+
+  // Key beyond everything with no pred in range -> pred still applies;
+  // only a key below all mappings with no candidates aborts or uses latest.
+  auto sel2 = csr.SelectSnapshot(5, [] { return Timestamp{5000}; });
+  ASSERT_TRUE(sel2.ok());
+  // No mapping with key <= 5: select clamps to the successor's value (key
+  // 10 -> 1000) rather than racing ahead of it.
+  EXPECT_LE(*sel2, 1000u);
+}
+
+TEST(CsrSelectTest, RepeatedSameKeySelectionsStayAtOneEntry) {
+  // The "InnoDB-only under Skeena" workload: the anchor snapshot never
+  // moves, so the CSR must stay at one entry (paper Section 6.3).
+  SnapshotRegistry csr(SmallOptions(100));
+  for (int i = 0; i < 1000; ++i) {
+    auto sel = csr.SelectSnapshot(42, [&] { return Timestamp(100 + i); });
+    ASSERT_TRUE(sel.ok());
+  }
+  EXPECT_EQ(csr.EntryCount(), 1u);
+  EXPECT_EQ(csr.PartitionCount(), 1u);
+}
+
+// ---------------------------------------------- Algorithm 2 (commit check)
+
+TEST(CsrCommitTest, InOrderCommitsPass) {
+  SnapshotRegistry csr(SmallOptions(100));
+  EXPECT_TRUE(csr.CommitCheck(10, 100).ok());
+  EXPECT_TRUE(csr.CommitCheck(20, 200).ok());
+  EXPECT_TRUE(csr.CommitCheck(30, 300).ok());
+  EXPECT_EQ(csr.stats().commit_aborts, 0u);
+}
+
+TEST(CsrCommitTest, SkewedCommitRejected) {
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 100).ok());
+  ASSERT_TRUE(csr.CommitCheck(30, 300).ok());
+  // Anchor order says "between 10 and 30" but the other engine's commit is
+  // after 300: inserting (20, 400) would let future transactions observe
+  // the Figure 2(a) skew. Must abort.
+  Status s = csr.CommitCheck(20, 400);
+  EXPECT_TRUE(s.IsSkeenaAbort());
+  // Symmetric: other-engine commit before 100.
+  EXPECT_TRUE(csr.CommitCheck(25, 50).IsSkeenaAbort());
+  EXPECT_GE(csr.stats().commit_aborts, 2u);
+}
+
+TEST(CsrCommitTest, BoundsInclusiveForReadOnlyTimestamps) {
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 100).ok());
+  ASSERT_TRUE(csr.CommitCheck(30, 300).ok());
+  // A read-only other-engine sub-transaction carries a borrowed view
+  // bound: coinciding with the predecessor's value is the same view at a
+  // later anchor position — legal (Algorithm 2's strict >/<).
+  EXPECT_TRUE(csr.CommitCheck(20, 100, true, /*other_wrote=*/false).ok());
+  EXPECT_TRUE(csr.CommitCheck(25, 300, true, /*other_wrote=*/false).ok());
+}
+
+TEST(CsrCommitTest, LowBoundStrictForRealCommits) {
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 100).ok());
+  // A *real* other-engine commit at exactly the predecessor's value would
+  // become visible to the reader that produced that bound while its anchor
+  // effects stay invisible — Figure 2 skew. Must abort.
+  EXPECT_TRUE(
+      csr.CommitCheck(20, 100, true, /*other_wrote=*/true).IsSkeenaAbort());
+  EXPECT_TRUE(csr.CommitCheck(20, 101, true, true).ok());
+}
+
+TEST(CsrCommitTest, ReaderTieAtAnchorCommitAborts) {
+  SnapshotRegistry csr(SmallOptions(100));
+  // A reader selected with anchor snapshot 50 and other-engine view 100
+  // (e.g., raced an in-flight committer).
+  auto sel = csr.SelectSnapshot(50, [] { return Timestamp{100}; });
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(*sel, 100u);
+  // A dual-writer committing at anchor cts exactly 50 with other cts 200:
+  // that reader sees its anchor half (visibility is inclusive) but not its
+  // other half. Must abort.
+  EXPECT_TRUE(csr.CommitCheck(50, 200, true, true).IsSkeenaAbort());
+  // Anchor-read-only ties stay free (nothing to see in the anchor).
+  EXPECT_TRUE(csr.CommitCheck(50, 200, /*anchor_wrote=*/false, true).ok());
+}
+
+TEST(CsrCommitTest, EqualAnchorKeysDoNotConstrainReadOnlyAnchors) {
+  // Begin-timestamp ties (anchor-read-only transactions) may commit in any
+  // other-engine order (DSI Rule 4 allows <=); values collapse to the max.
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 200, false, true).ok());
+  EXPECT_TRUE(csr.CommitCheck(10, 100, false, true).ok());
+  EXPECT_TRUE(csr.CommitCheck(10, 300, false, true).ok());
+  EXPECT_EQ(csr.EntryCount(), 1u);
+}
+
+TEST(CsrCommitTest, SelectionThenCommitRoundTrip) {
+  SnapshotRegistry csr(SmallOptions(100));
+  ASSERT_TRUE(csr.CommitCheck(10, 100).ok());
+  // Cross transaction: anchor snapshot 15 selects other snapshot 100;
+  // commits at anchor 16 / other 150.
+  auto sel = csr.SelectSnapshot(15, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(*sel, 100u);
+  EXPECT_TRUE(csr.CommitCheck(16, 150).ok());
+}
+
+// --------------------------------------------------- Multi-index behaviour
+
+TEST(CsrPartitionTest, FillSpawnsNewPartition) {
+  SnapshotRegistry csr(SmallOptions(4));
+  for (Timestamp t = 1; t <= 12; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok()) << t;
+  }
+  EXPECT_EQ(csr.PartitionCount(), 3u) << "4 keys per partition, 12 keys";
+  EXPECT_EQ(csr.EntryCount(), 12u);
+  // Reads spanning sealed partitions still resolve.
+  auto sel = csr.SelectSnapshot(55, [] { return Timestamp{1 << 20}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 500u);
+}
+
+TEST(CsrPartitionTest, SealedPartitionsKeepServingSelection) {
+  SnapshotRegistry csr(SmallOptions(4));
+  for (Timestamp t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  ASSERT_GE(csr.PartitionCount(), 2u);
+  // Key 15 falls inside the first (sealed) partition: selection keeps
+  // working ("read-only [indexes] continue to serve existing transactions
+  // for snapshot selection", Section 4.3) because sealed partitions are
+  // immutable — the mapping Algorithm 1 would add is implied.
+  auto sel = csr.SelectSnapshot(15, [] { return Timestamp{1 << 20}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 100u);
+  // But a *commit* landing inside a sealed range needs a real mapping:
+  // abort (Section 4.3).
+  EXPECT_TRUE(csr.CommitCheck(15, 150).IsSkeenaAbort());
+  EXPECT_GE(csr.stats().sealed_aborts, 1u);
+}
+
+TEST(CsrPartitionTest, SelectionBelowSealedRangeAborts) {
+  SnapshotRegistry csr(SmallOptions(4));
+  // First partition spans [10, 40] and is sealed once a second exists.
+  for (Timestamp t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  // A snapshot below every key of the sealed first partition has no
+  // predecessor mapping to serve and cannot record one.
+  auto sel = csr.SelectSnapshot(5, [] { return Timestamp{1 << 20}; });
+  EXPECT_TRUE(sel.status().IsSkeenaAbort());
+  EXPECT_GE(csr.stats().sealed_aborts, 1u);
+}
+
+TEST(CsrPartitionTest, ExistingKeyInSealedPartitionStillServes) {
+  SnapshotRegistry csr(SmallOptions(4));
+  for (Timestamp t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  // Key 20 exists in the sealed partition: selection needs no new mapping.
+  auto sel = csr.SelectSnapshot(20, [] { return Timestamp{1 << 20}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 200u);
+}
+
+TEST(CsrPartitionTest, CommitAcrossPartitionBoundaryKeepsBounds) {
+  SnapshotRegistry csr(SmallOptions(4));
+  for (Timestamp t = 1; t <= 4; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  // First key of partition 2: its true predecessor (40 -> 400) lives in
+  // partition 1. A commit violating that bound must still abort.
+  EXPECT_TRUE(csr.CommitCheck(50, 50).IsSkeenaAbort())
+      << "cross-partition predecessor bound ignored";
+  EXPECT_TRUE(csr.CommitCheck(50, 500).ok());
+}
+
+// ---------------------------------------------------------------- Recycling
+
+TEST(CsrRecycleTest, DropsPartitionsBelowMinActive) {
+  SnapshotRegistry csr(SmallOptions(4));
+  Timestamp min_active = 0;
+  csr.SetMinAnchorProvider([&] { return min_active; });
+  for (Timestamp t = 1; t <= 16; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  ASSERT_EQ(csr.PartitionCount(), 4u);
+
+  min_active = 5;  // everything still needed
+  csr.Recycle();
+  EXPECT_EQ(csr.PartitionCount(), 4u);
+
+  min_active = 95;  // first two partitions ([10..40], [50..80]) stale
+  csr.Recycle();
+  EXPECT_EQ(csr.PartitionCount(), 2u);
+  EXPECT_EQ(csr.stats().partitions_recycled, 2u);
+
+  min_active = kMaxTimestamp;  // only the open partition survives
+  csr.Recycle();
+  EXPECT_EQ(csr.PartitionCount(), 1u);
+}
+
+TEST(CsrRecycleTest, OldTransactionAbortsAfterItsPartitionRecycled) {
+  SnapshotRegistry csr(SmallOptions(4));
+  csr.SetMinAnchorProvider([] { return kMaxTimestamp; });
+  for (Timestamp t = 1; t <= 8; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  csr.Recycle();
+  auto sel = csr.SelectSnapshot(15, [] { return Timestamp{1 << 20}; });
+  EXPECT_TRUE(sel.status().IsSkeenaAbort());
+}
+
+TEST(CsrRecycleTest, AutomaticRecyclingOnAccessPeriod) {
+  SnapshotRegistry::Options opts;
+  opts.partition_capacity = 4;
+  opts.recycle_period = 50;
+  SnapshotRegistry csr(opts);
+  csr.SetMinAnchorProvider([] { return kMaxTimestamp; });
+  for (Timestamp t = 1; t <= 200; ++t) {
+    ASSERT_TRUE(csr.CommitCheck(t * 10, t * 100).ok());
+  }
+  // Without recycling there would be ~50 partitions.
+  EXPECT_LT(csr.PartitionCount(), 20u);
+  EXPECT_GT(csr.stats().partitions_recycled, 0u);
+}
+
+// -------------------------------------------------------------- Concurrency
+
+TEST(CsrConcurrencyTest, ParallelCommitsKeepMonotonicity) {
+  SnapshotRegistry::Options opts;
+  opts.partition_capacity = 256;
+  SnapshotRegistry csr(opts);
+  // Threads commit (anchor, other) pairs drawn from two shared counters;
+  // the CSR must either accept or abort, and accepted pairs must keep the
+  // cross-key monotonicity invariant validated afterwards via selection.
+  std::atomic<Timestamp> anchor_clock{1};
+  std::atomic<Timestamp> other_clock{1};
+  std::atomic<uint64_t> accepted{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        Timestamp a = anchor_clock.fetch_add(1) + 1;
+        Timestamp o = other_clock.fetch_add(1) + 1;
+        if (csr.CommitCheck(a, o).ok()) accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(accepted.load(), 0u);
+
+  // Validate monotonicity: selections at increasing anchor snapshots give
+  // non-decreasing other-engine snapshots.
+  Timestamp last = 0;
+  for (Timestamp a = 2; a < anchor_clock.load(); a += 97) {
+    auto sel = csr.SelectSnapshot(a, [&] { return other_clock.load(); });
+    if (!sel.ok()) continue;
+    EXPECT_GE(*sel, last) << "skewed mapping admitted at anchor " << a;
+    last = *sel;
+  }
+}
+
+TEST(CsrConcurrencyTest, MixedSelectCommitRecycleNoCrash) {
+  SnapshotRegistry::Options opts;
+  opts.partition_capacity = 64;
+  opts.recycle_period = 100;
+  SnapshotRegistry csr(opts);
+  std::atomic<Timestamp> anchor_clock{1};
+  std::atomic<Timestamp> other_clock{1};
+  csr.SetMinAnchorProvider([&] {
+    // Conservative: everything older than (now - 200) is reclaimable.
+    Timestamp now = anchor_clock.load();
+    return now > 200 ? now - 200 : 0;
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(t);
+      for (int i = 0; i < 3000; ++i) {
+        if (rng.Uniform(2) == 0) {
+          Timestamp a = anchor_clock.fetch_add(1) + 1;
+          Timestamp o = other_clock.fetch_add(1) + 1;
+          csr.CommitCheck(a, o);
+        } else {
+          Timestamp a = anchor_clock.load();
+          csr.SelectSnapshot(a, [&] { return other_clock.load(); });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+// --------------------------------------------------- Property sweep (TEST_P)
+
+class CsrCapacitySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CsrCapacitySweep, AcceptedHistoryIsAlwaysSkewFree) {
+  size_t capacity = GetParam();
+  SnapshotRegistry::Options opts;
+  opts.partition_capacity = capacity;
+  SnapshotRegistry csr(opts);
+
+  Rng rng(capacity);
+  std::vector<std::pair<Timestamp, Timestamp>> accepted;
+  Timestamp a = 1, o = 1;
+  for (int i = 0; i < 5000; ++i) {
+    a += 1 + rng.Uniform(3);
+    // Sometimes propose an out-of-order other timestamp.
+    Timestamp prop = (rng.Uniform(10) == 0 && o > 20) ? o - 20 : (o += 1 + rng.Uniform(3), o);
+    if (csr.CommitCheck(a, prop).ok()) accepted.push_back({a, prop});
+  }
+  // Invariant: accepted pairs sorted by anchor must have non-decreasing
+  // other timestamps among strictly increasing anchors.
+  for (size_t i = 1; i < accepted.size(); ++i) {
+    ASSERT_GE(accepted[i].first, accepted[i - 1].first);
+    if (accepted[i].first > accepted[i - 1].first) {
+      ASSERT_GE(accepted[i].second, accepted[i - 1].second)
+          << "skew admitted at index " << i << " (capacity " << capacity
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CsrCapacitySweep,
+                         ::testing::Values(2, 8, 64, 1000));
+
+}  // namespace
+}  // namespace skeena

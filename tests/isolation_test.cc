@@ -1,0 +1,215 @@
+// Isolation-level semantics across engines (paper Table 2): what each
+// level must show, and what it is allowed to show.
+
+#include <gtest/gtest.h>
+
+#include "core/skeena.h"
+
+namespace skeena {
+namespace {
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  IsolationTest() : db_(MakeOptions()) {
+    mem_ = *db_.CreateTable("m", EngineKind::kMem);
+    stor_ = *db_.CreateTable("s", EngineKind::kStor);
+    auto init = db_.Begin();
+    EXPECT_TRUE(init->Put(mem_, MakeKey(1), "m0").ok());
+    EXPECT_TRUE(init->Put(stor_, MakeKey(1), "s0").ok());
+    EXPECT_TRUE(init->Commit().ok());
+  }
+
+  static DatabaseOptions MakeOptions() {
+    DatabaseOptions opts;
+    opts.mem.log.flush_interval_us = 20;
+    opts.stor.log.flush_interval_us = 20;
+    return opts;
+  }
+
+  void CommitBoth(const std::string& mv, const std::string& sv) {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(txn->Put(mem_, MakeKey(1), mv).ok());
+    ASSERT_TRUE(txn->Put(stor_, MakeKey(1), sv).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  Database db_;
+  TableHandle mem_;
+  TableHandle stor_;
+};
+
+// ---------------------------------------------------------- read committed
+
+TEST_F(IsolationTest, ReadCommittedNonRepeatableReadsAllowed) {
+  auto rc = db_.Begin(IsolationLevel::kReadCommitted);
+  std::string v1, v2;
+  ASSERT_TRUE(rc->Get(mem_, MakeKey(1), &v1).ok());
+  CommitBoth("m1", "s1");
+  ASSERT_TRUE(rc->Get(mem_, MakeKey(1), &v2).ok());
+  EXPECT_EQ(v1, "m0");
+  EXPECT_EQ(v2, "m1") << "RC must see each statement's latest committed";
+}
+
+TEST_F(IsolationTest, ReadCommittedNeverSeesUncommitted) {
+  auto writer = db_.Begin();
+  ASSERT_TRUE(writer->Put(mem_, MakeKey(1), "dirty-m").ok());
+  ASSERT_TRUE(writer->Put(stor_, MakeKey(1), "dirty-s").ok());
+
+  auto rc = db_.Begin(IsolationLevel::kReadCommitted);
+  std::string v;
+  ASSERT_TRUE(rc->Get(mem_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "m0");
+  ASSERT_TRUE(rc->Get(stor_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "s0");
+  writer->Abort();
+}
+
+TEST_F(IsolationTest, ReadCommittedStillNotTornAcrossEnginesPerAccessPair) {
+  // Even under RC, a *single* access sees a committed state; the cross
+  // engine pair read back-to-back may legally mix versions.
+  CommitBoth("m1", "s1");
+  auto rc = db_.Begin(IsolationLevel::kReadCommitted);
+  std::string mv, sv;
+  ASSERT_TRUE(rc->Get(mem_, MakeKey(1), &mv).ok());
+  ASSERT_TRUE(rc->Get(stor_, MakeKey(1), &sv).ok());
+  EXPECT_TRUE(mv == "m1");
+  EXPECT_TRUE(sv == "s1");
+}
+
+// -------------------------------------------------------------- snapshot
+
+TEST_F(IsolationTest, SnapshotRepeatableAcrossBothEngines) {
+  auto si = db_.Begin(IsolationLevel::kSnapshot);
+  std::string v;
+  ASSERT_TRUE(si->Get(mem_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "m0");
+  CommitBoth("m1", "s1");
+  CommitBoth("m2", "s2");
+  ASSERT_TRUE(si->Get(mem_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "m0") << "repeatable within the snapshot";
+  ASSERT_TRUE(si->Get(stor_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "s0") << "the stor side must match the mem side's epoch";
+}
+
+TEST_F(IsolationTest, SnapshotFirstCommitterWinsInBothEngines) {
+  for (EngineKind home : {EngineKind::kMem, EngineKind::kStor}) {
+    const TableHandle& t = home == EngineKind::kMem ? mem_ : stor_;
+    auto a = db_.Begin(IsolationLevel::kSnapshot);
+    auto b = db_.Begin(IsolationLevel::kSnapshot);
+    std::string v;
+    ASSERT_TRUE(a->Get(t, MakeKey(1), &v).ok());
+    ASSERT_TRUE(b->Get(t, MakeKey(1), &v).ok());
+    ASSERT_TRUE(a->Put(t, MakeKey(1), "a").ok());
+    ASSERT_TRUE(a->Commit().ok());
+    Status s = b->Put(t, MakeKey(1), "b");
+    Status c = s.ok() ? b->Commit() : s;
+    EXPECT_TRUE(c.IsAnyAbort())
+        << EngineKindToString(home) << ": second writer must lose";
+  }
+}
+
+TEST_F(IsolationTest, SnapshotReadOnlyNeverAborts) {
+  for (int i = 0; i < 50; ++i) {
+    auto reader = db_.Begin(IsolationLevel::kSnapshot);
+    std::string mv, sv;
+    ASSERT_TRUE(reader->Get(mem_, MakeKey(1), &mv).ok());
+    CommitBoth("m" + std::to_string(i), "s" + std::to_string(i));
+    ASSERT_TRUE(reader->Get(stor_, MakeKey(1), &sv).ok());
+    EXPECT_TRUE(reader->Commit().ok())
+        << "read-only snapshot transactions must always commit";
+  }
+}
+
+// ----------------------------------------------------------- serializable
+
+TEST_F(IsolationTest, SerializableReadersAbortOnStaleCommit) {
+  auto t = db_.Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(t->Get(mem_, MakeKey(1), &v).ok());
+  CommitBoth("m1", "s1");  // invalidates t's read
+  ASSERT_TRUE(t->Put(stor_, MakeKey(2), "out").ok());
+  Status s = t->Commit();
+  EXPECT_TRUE(s.IsAnyAbort())
+      << "anti-dependency must abort the serializable reader";
+}
+
+TEST_F(IsolationTest, SerializableCommitsWhenReadsStable) {
+  auto t = db_.Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(t->Get(mem_, MakeKey(1), &v).ok());
+  ASSERT_TRUE(t->Get(stor_, MakeKey(1), &v).ok());
+  ASSERT_TRUE(t->Put(mem_, MakeKey(2), "new").ok());
+  EXPECT_TRUE(t->Commit().ok());
+}
+
+TEST_F(IsolationTest, MixedLevelsCoexist) {
+  // Different concurrent transactions at different levels (the paper's
+  // full-functionality principle, Section 3). The serializable reader
+  // touches a key the writer leaves alone — its S lock would otherwise
+  // block the writer by design (2PL).
+  {
+    auto extra = db_.Begin();
+    ASSERT_TRUE(extra->Put(stor_, MakeKey(2), "aside").ok());
+    ASSERT_TRUE(extra->Commit().ok());
+  }
+  auto si = db_.Begin(IsolationLevel::kSnapshot);
+  auto rc = db_.Begin(IsolationLevel::kReadCommitted);
+  auto ser = db_.Begin(IsolationLevel::kSerializable);
+  std::string v;
+  ASSERT_TRUE(si->Get(mem_, MakeKey(1), &v).ok());
+  ASSERT_TRUE(ser->Get(stor_, MakeKey(2), &v).ok());
+  CommitBoth("m1", "s1");
+  ASSERT_TRUE(rc->Get(mem_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "m1");
+  ASSERT_TRUE(si->Get(mem_, MakeKey(1), &v).ok());
+  EXPECT_EQ(v, "m0");
+  EXPECT_TRUE(si->Commit().ok());
+  EXPECT_TRUE(rc->Commit().ok());
+  EXPECT_TRUE(ser->Commit().ok()) << "untouched read set: stable";
+}
+
+// Parameterized: the pair-consistency guarantee must hold at SI and
+// serializable for either first-touched engine.
+class IsolationOrderSweep
+    : public ::testing::TestWithParam<std::tuple<IsolationLevel, bool>> {};
+
+TEST_P(IsolationOrderSweep, ConsistentPairEitherCrossingDirection) {
+  auto [iso, mem_first] = GetParam();
+  DatabaseOptions opts;
+  Database db(opts);
+  auto m = *db.CreateTable("m", EngineKind::kMem);
+  auto s = *db.CreateTable("s", EngineKind::kStor);
+  {
+    auto init = db.Begin();
+    ASSERT_TRUE(init->Put(m, MakeKey(1), "0").ok());
+    ASSERT_TRUE(init->Put(s, MakeKey(1), "0").ok());
+    ASSERT_TRUE(init->Commit().ok());
+  }
+  for (int i = 1; i <= 20; ++i) {
+    auto w = db.Begin(IsolationLevel::kSnapshot);
+    ASSERT_TRUE(w->Put(m, MakeKey(1), std::to_string(i)).ok());
+    ASSERT_TRUE(w->Put(s, MakeKey(1), std::to_string(i)).ok());
+    ASSERT_TRUE(w->Commit().ok());
+
+    auto r = db.Begin(iso);
+    std::string a, b;
+    if (mem_first) {
+      ASSERT_TRUE(r->Get(m, MakeKey(1), &a).ok());
+      ASSERT_TRUE(r->Get(s, MakeKey(1), &b).ok());
+    } else {
+      ASSERT_TRUE(r->Get(s, MakeKey(1), &b).ok());
+      ASSERT_TRUE(r->Get(m, MakeKey(1), &a).ok());
+    }
+    EXPECT_EQ(a, b) << "iteration " << i;
+    r->Abort();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IsolationOrderSweep,
+    ::testing::Combine(::testing::Values(IsolationLevel::kSnapshot,
+                                         IsolationLevel::kSerializable),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace skeena

@@ -1,0 +1,238 @@
+#include "log/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "log/log_records.h"
+#include "log/storage_device.h"
+
+namespace skeena {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+// ----------------------------------------------------------------- Devices
+
+TEST(MemDeviceTest, AppendReadRoundTrip) {
+  MemDevice dev;
+  uint64_t off1 = 0, off2 = 0;
+  ASSERT_TRUE(dev.Append(Bytes("hello"), &off1).ok());
+  ASSERT_TRUE(dev.Append(Bytes("world!"), &off2).ok());
+  EXPECT_EQ(off1, 0u);
+  EXPECT_EQ(off2, 5u);
+  EXPECT_EQ(dev.Size(), 11u);
+
+  std::string out(6, '\0');
+  ASSERT_TRUE(
+      dev.ReadAt(5, {reinterpret_cast<uint8_t*>(out.data()), 6}).ok());
+  EXPECT_EQ(out, "world!");
+}
+
+TEST(MemDeviceTest, WriteAtExtends) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.WriteAt(100, Bytes("xyz")).ok());
+  EXPECT_EQ(dev.Size(), 103u);
+  // The hole reads as zeros.
+  std::string out(3, 'q');
+  ASSERT_TRUE(dev.ReadAt(0, {reinterpret_cast<uint8_t*>(out.data()), 3}).ok());
+  EXPECT_EQ(out, std::string(3, '\0'));
+}
+
+TEST(MemDeviceTest, ReadPastEndFails) {
+  MemDevice dev;
+  uint64_t off;
+  ASSERT_TRUE(dev.Append(Bytes("abc"), &off).ok());
+  std::string out(10, '\0');
+  EXPECT_FALSE(
+      dev.ReadAt(0, {reinterpret_cast<uint8_t*>(out.data()), 10}).ok());
+}
+
+TEST(MemDeviceTest, TracksByteCounters) {
+  MemDevice dev;
+  uint64_t off;
+  dev.Append(Bytes("12345678"), &off);
+  std::string out(4, '\0');
+  dev.ReadAt(0, {reinterpret_cast<uint8_t*>(out.data()), 4});
+  EXPECT_EQ(dev.bytes_written(), 8u);
+  EXPECT_EQ(dev.bytes_read(), 4u);
+}
+
+TEST(FileDeviceTest, PersistsAcrossReopen) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "skeena_dev_test.bin")
+          .string();
+  std::filesystem::remove(path);
+  {
+    auto dev = FileDevice::Open(path);
+    ASSERT_TRUE(dev.ok());
+    uint64_t off;
+    ASSERT_TRUE((*dev)->Append(Bytes("durable"), &off).ok());
+    ASSERT_TRUE((*dev)->Sync().ok());
+  }
+  {
+    auto dev = FileDevice::Open(path);
+    ASSERT_TRUE(dev.ok());
+    EXPECT_EQ((*dev)->Size(), 7u);
+    std::string out(7, '\0');
+    ASSERT_TRUE(
+        (*dev)->ReadAt(0, {reinterpret_cast<uint8_t*>(out.data()), 7}).ok());
+    EXPECT_EQ(out, "durable");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(DeviceLatencyTest, InjectedLatencyIsCharged) {
+  MemDevice slow(DeviceLatency{.read_ns = 200000, .write_ns = 0, .sync_ns = 0});
+  uint64_t off;
+  std::string payload(64, 'x');
+  slow.Append(Bytes(payload), &off);
+  std::string out(64, '\0');
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    slow.ReadAt(0, {reinterpret_cast<uint8_t*>(out.data()), 64});
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            2000) << "10 reads at 200us each must take >= 2ms";
+}
+
+// -------------------------------------------------------------- LogManager
+
+TEST(LogManagerTest, LsnsAreMonotoneByteOffsets) {
+  LogManager log(std::make_unique<MemDevice>());
+  Lsn a = log.Append(Bytes("aaaa"));
+  Lsn b = log.Append(Bytes("bb"));
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(log.CurrentLsn(), b);
+}
+
+TEST(LogManagerTest, DurableLsnAdvancesToCover) {
+  LogManager log(std::make_unique<MemDevice>());
+  Lsn lsn = log.Append(Bytes("record"));
+  log.WaitDurable(lsn);
+  EXPECT_GE(log.DurableLsn(), lsn);
+}
+
+TEST(LogManagerTest, FlushForcesDurability) {
+  LogManager::Options opts;
+  opts.flush_interval_us = 1000000;  // effectively never
+  opts.flush_watermark = 1 << 30;
+  LogManager log(std::make_unique<MemDevice>(), opts);
+  Lsn lsn = log.Append(Bytes("x"));
+  EXPECT_LT(log.DurableLsn(), lsn);
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_GE(log.DurableLsn(), lsn);
+}
+
+TEST(LogManagerTest, GroupCommitBatchesConcurrentAppends) {
+  LogManager log(std::make_unique<MemDevice>());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Lsn lsn = log.Append(Bytes("record-payload"));
+        log.WaitDurable(lsn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Group commit must aggregate many appends per device write.
+  EXPECT_LT(log.flush_batches(), kThreads * kPerThread)
+      << "every append got its own flush: group commit broken";
+  EXPECT_GE(log.DurableLsn(), log.CurrentLsn());
+}
+
+TEST(LogManagerTest, ReaderSeesAllRecordsInOrder) {
+  auto dev = std::make_unique<MemDevice>();
+  MemDevice* raw = dev.get();
+  LogManager log(std::move(dev));
+  for (int i = 0; i < 100; ++i) {
+    log.Append(Bytes("rec" + std::to_string(i)));
+  }
+  log.Flush();
+  LogReader reader(raw);
+  std::string rec;
+  int i = 0;
+  while (reader.Next(&rec)) {
+    EXPECT_EQ(rec, "rec" + std::to_string(i));
+    i++;
+  }
+  EXPECT_EQ(i, 100);
+}
+
+TEST(LogManagerTest, ReaderStopsAtTornTail) {
+  auto dev = std::make_unique<MemDevice>();
+  uint64_t off;
+  // One valid frame, then a frame header promising more bytes than exist.
+  std::string valid;
+  uint32_t len = 3;
+  valid.append(reinterpret_cast<const char*>(&len), 4);
+  valid += "abc";
+  uint32_t torn = 100;
+  valid.append(reinterpret_cast<const char*>(&torn), 4);
+  valid += "partial";
+  dev->Append(Bytes(valid), &off);
+
+  LogReader reader(dev.get());
+  std::string rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec, "abc");
+  EXPECT_FALSE(reader.Next(&rec)) << "torn tail must end the scan";
+}
+
+// ------------------------------------------------------------- LogRecord
+
+TEST(LogRecordTest, EncodeDecodeRoundTrip) {
+  LogRecord rec;
+  rec.type = LogRecordType::kData;
+  rec.gtid = 0x12345678abcdefull;
+  rec.cts = 999;
+  rec.table = 42;
+  rec.tombstone = true;
+  rec.key = MakeKey(77);
+  rec.value = std::string(300, 'v');
+
+  LogRecord decoded;
+  ASSERT_TRUE(LogRecord::Decode(rec.Encode(), &decoded));
+  EXPECT_EQ(decoded.type, rec.type);
+  EXPECT_EQ(decoded.gtid, rec.gtid);
+  EXPECT_EQ(decoded.cts, rec.cts);
+  EXPECT_EQ(decoded.table, rec.table);
+  EXPECT_EQ(decoded.tombstone, rec.tombstone);
+  EXPECT_EQ(decoded.key, rec.key);
+  EXPECT_EQ(decoded.value, rec.value);
+}
+
+TEST(LogRecordTest, DecodeRejectsTruncated) {
+  LogRecord rec;
+  rec.value = "somevalue";
+  std::string enc = rec.Encode();
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::Decode(enc, &out));
+  EXPECT_FALSE(LogRecord::Decode(std::string_view(enc).substr(0, 10), &out));
+  EXPECT_FALSE(
+      LogRecord::Decode(std::string_view(enc).substr(0, enc.size() - 1),
+                        &out));
+}
+
+TEST(LogRecordTest, EmptyValueAllowed) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCommitEnd;
+  rec.gtid = 5;
+  LogRecord out;
+  ASSERT_TRUE(LogRecord::Decode(rec.Encode(), &out));
+  EXPECT_EQ(out.type, LogRecordType::kCommitEnd);
+  EXPECT_TRUE(out.value.empty());
+}
+
+}  // namespace
+}  // namespace skeena

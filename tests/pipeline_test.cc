@@ -1,0 +1,163 @@
+#include "core/commit_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/adapters.h"
+#include "log/storage_device.h"
+
+namespace skeena {
+namespace {
+
+// Pipeline tests drive two real engine adapters with slow logs so the
+// durability gating is observable.
+class PipelineTest : public ::testing::Test {
+ protected:
+  // flush_us == 0 disables the background flusher entirely: durability
+  // only advances on explicit FlushLog(), making the gating observable.
+  std::unique_ptr<MemEngineAdapter> MakeMem(uint64_t flush_us) {
+    memdb::MemEngine::Options opts;
+    opts.log.auto_flush = flush_us != 0;
+    if (flush_us != 0) opts.log.flush_interval_us = flush_us;
+    return std::make_unique<MemEngineAdapter>(std::make_unique<MemDevice>(),
+                                              opts);
+  }
+  std::unique_ptr<StorEngineAdapter> MakeStor(uint64_t flush_us) {
+    stordb::StorEngine::Options opts;
+    opts.log.auto_flush = flush_us != 0;
+    if (flush_us != 0) opts.log.flush_interval_us = flush_us;
+    return std::make_unique<StorEngineAdapter>(std::make_unique<MemDevice>(),
+                                               opts);
+  }
+};
+
+TEST_F(PipelineTest, CompletesOnlyWhenBothLogsDurable) {
+  auto mem = MakeMem(0);   // manual flush only
+  auto stor = MakeStor(0);
+  CommitPipeline::Options opts;
+  CommitPipeline pipeline(opts, mem.get(), stor.get());
+
+  // Append a record to each log; the entry needs both durable.
+  uint8_t payload[16] = {};
+  Lsn mem_lsn = mem->engine()->log()->Append(payload);
+  Lsn stor_lsn = stor->engine()->log()->Append(payload);
+
+  CommitWaiter waiter;
+  waiter.Reset();
+  std::atomic<bool> done{false};
+  Lsn lsns[2] = {mem_lsn, stor_lsn};
+  pipeline.Enqueue(lsns, &waiter);
+  std::thread watcher([&] {
+    waiter.Wait();
+    done.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(done.load()) << "neither log flushed yet";
+
+  ASSERT_TRUE(mem->FlushLog().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(done.load()) << "one log durable is not enough";
+
+  ASSERT_TRUE(stor->FlushLog().ok());
+  watcher.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(pipeline.completed(), 1u);
+}
+
+TEST_F(PipelineTest, ZeroLsnMeansNothingToWaitFor) {
+  auto mem = MakeMem(0);
+  auto stor = MakeStor(0);
+  CommitPipeline pipeline(CommitPipeline::Options{}, mem.get(), stor.get());
+  CommitWaiter waiter;
+  Lsn lsns[2] = {0, 0};
+  pipeline.EnqueueAndWait(lsns, &waiter);  // returns immediately
+  EXPECT_EQ(pipeline.completed(), 1u);
+}
+
+TEST_F(PipelineTest, SyncModeFlushesInline) {
+  auto mem = MakeMem(0);
+  auto stor = MakeStor(0);
+  CommitPipeline::Options opts;
+  opts.mode = CommitPipeline::Mode::kSync;
+  CommitPipeline pipeline(opts, mem.get(), stor.get());
+
+  uint8_t payload[8] = {};
+  Lsn lsns[2] = {mem->engine()->log()->Append(payload),
+                 stor->engine()->log()->Append(payload)};
+  CommitWaiter waiter;
+  pipeline.EnqueueAndWait(lsns, &waiter);
+  EXPECT_GE(mem->DurableLsn(), lsns[0]);
+  EXPECT_GE(stor->DurableLsn(), lsns[1]);
+}
+
+TEST_F(PipelineTest, FifoCompletionWithinQueue) {
+  auto mem = MakeMem(50);
+  auto stor = MakeStor(50);
+  CommitPipeline pipeline(CommitPipeline::Options{}, mem.get(), stor.get());
+
+  constexpr int kEntries = 64;
+  std::vector<CommitWaiter> waiters(kEntries);
+  std::atomic<int> completed_in_order{0};
+  std::vector<std::thread> watchers;
+  std::atomic<int> next_expected{0};
+  uint8_t payload[8] = {};
+  for (int i = 0; i < kEntries; ++i) {
+    Lsn lsns[2] = {mem->engine()->log()->Append(payload),
+                   stor->engine()->log()->Append(payload)};
+    waiters[i].Reset();
+    pipeline.Enqueue(lsns, &waiters[i]);
+  }
+  for (int i = 0; i < kEntries; ++i) {
+    waiters[i].Wait();
+  }
+  (void)completed_in_order;
+  (void)next_expected;
+  EXPECT_EQ(pipeline.completed(), static_cast<uint64_t>(kEntries));
+}
+
+TEST_F(PipelineTest, PartitionedQueuesProgressIndependently) {
+  auto mem = MakeMem(50);
+  auto stor = MakeStor(50);
+  CommitPipeline::Options opts;
+  opts.num_queues = 4;
+  CommitPipeline pipeline(opts, mem.get(), stor.get());
+  uint8_t payload[8] = {};
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> done{0};
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        Lsn lsns[2] = {mem->engine()->log()->Append(payload),
+                       stor->engine()->log()->Append(payload)};
+        CommitWaiter w;
+        pipeline.EnqueueAndWait(lsns, &w, static_cast<size_t>(t));
+        done.fetch_add(1);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(done.load(), 200u);
+}
+
+TEST_F(PipelineTest, DestructorDrainsPendingEntries) {
+  auto mem = MakeMem(0);
+  auto stor = MakeStor(0);
+  CommitWaiter waiter;
+  waiter.Reset();
+  uint8_t payload[8] = {};
+  {
+    CommitPipeline pipeline(CommitPipeline::Options{}, mem.get(), stor.get());
+    Lsn lsns[2] = {mem->engine()->log()->Append(payload),
+                   stor->engine()->log()->Append(payload)};
+    pipeline.Enqueue(lsns, &waiter);
+    // Destroyed with the entry still gated on durability.
+  }
+  waiter.Wait();  // must have been completed (with a forced flush)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace skeena

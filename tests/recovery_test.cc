@@ -1,0 +1,248 @@
+// Cross-engine durability and recovery (paper Section 4.6): each engine
+// recovers from its own log; cross-engine transactions are rolled back
+// unless their commit-end record is durable in *both* logs.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/skeena.h"
+
+namespace skeena {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("skeena_recovery_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  ~RecoveryTest() override { std::filesystem::remove_all(dir_); }
+
+  DatabaseOptions FileOptions() {
+    DatabaseOptions opts;
+    opts.data_dir = dir_;
+    opts.mem.log.flush_interval_us = 20;
+    opts.stor.log.flush_interval_us = 20;
+    return opts;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RecoveryTest, CommittedCrossTxnSurvivesRestart) {
+  {
+    Database db(FileOptions());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto stor_t = *db.CreateTable("s", EngineKind::kStor);
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Put(mem_t, MakeKey(1), "mem-data").ok());
+    ASSERT_TRUE(txn->Put(stor_t, MakeKey(1), "stor-data").ok());
+    ASSERT_TRUE(txn->Commit().ok());  // waits for both logs durable
+  }
+  {
+    Database db(FileOptions());  // catalog reloaded from disk
+    ASSERT_TRUE(db.Recover().ok());
+    auto mem_t = *db.GetTable("m");
+    auto stor_t = *db.GetTable("s");
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(mem_t, MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "mem-data");
+    ASSERT_TRUE(reader->Get(stor_t, MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "stor-data");
+  }
+}
+
+TEST_F(RecoveryTest, ManyTransactionsReplayInOrder) {
+  {
+    Database db(FileOptions());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto stor_t = *db.CreateTable("s", EngineKind::kStor);
+    for (int i = 0; i < 50; ++i) {
+      auto txn = db.Begin();
+      ASSERT_TRUE(txn->Put(mem_t, MakeKey(i % 7), std::to_string(i)).ok());
+      ASSERT_TRUE(txn->Put(stor_t, MakeKey(i % 7), std::to_string(i)).ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+  }
+  {
+    Database db(FileOptions());
+    ASSERT_TRUE(db.Recover().ok());
+    auto mem_t = *db.GetTable("m");
+    auto stor_t = *db.GetTable("s");
+    auto reader = db.Begin();
+    for (int k = 0; k < 7; ++k) {
+      // Last writer of key k is the largest i < 50 with i % 7 == k.
+      int last = 49 - ((49 - k) % 7);
+      std::string v;
+      ASSERT_TRUE(reader->Get(mem_t, MakeKey(k), &v).ok());
+      EXPECT_EQ(v, std::to_string(last)) << "mem key " << k;
+      ASSERT_TRUE(reader->Get(stor_t, MakeKey(k), &v).ok());
+      EXPECT_EQ(v, std::to_string(last)) << "stor key " << k;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, PartiallyCommittedCrossTxnRolledBack) {
+  // Crash between the two post-commits: the mem log carries commit-end,
+  // the stor log does not. Recovery must roll back BOTH sides.
+  {
+    Database db(FileOptions());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto stor_t = *db.CreateTable("s", EngineKind::kStor);
+
+    // A fully committed transaction for contrast.
+    auto ok_txn = db.Begin();
+    ASSERT_TRUE(ok_txn->Put(mem_t, MakeKey(1), "keep-m").ok());
+    ASSERT_TRUE(ok_txn->Put(stor_t, MakeKey(1), "keep-s").ok());
+    ASSERT_TRUE(ok_txn->Commit().ok());
+
+    // Drive the "crashing" transaction manually to stop mid-commit.
+    EngineIface* mem = db.engine(0);
+    EngineIface* stor = db.engine(1);
+    GlobalTxnId gtid = db.NextGtid();
+    auto t_mem = mem->Begin(IsolationLevel::kSnapshot, kMaxTimestamp);
+    auto t_stor = stor->Begin(IsolationLevel::kSnapshot, kMaxTimestamp);
+    ASSERT_TRUE(
+        mem->Put(t_mem.get(), (*db.GetTable("m")).local_id, MakeKey(2),
+                 "torn-m")
+            .ok());
+    ASSERT_TRUE(
+        stor->Put(t_stor.get(), (*db.GetTable("s")).local_id, MakeKey(2),
+                  "torn-s")
+            .ok());
+    Timestamp cts;
+    ASSERT_TRUE(mem->PreCommit(t_mem.get(), gtid, true, &cts).ok());
+    ASSERT_TRUE(stor->PreCommit(t_stor.get(), gtid, true, &cts).ok());
+    // Post-commit ONLY the mem side; "crash" before the stor side.
+    mem->PostCommit(t_mem.get(), gtid, true);
+    mem->FlushLog();
+    stor->FlushLog();
+    // The stor sub-transaction is intentionally leaked as "in flight";
+    // roll it back so the Database destructor is clean, but its commit-end
+    // never reaches the log.
+    stor->Abort(t_stor.get());
+  }
+  {
+    Database db(FileOptions());
+    ASSERT_TRUE(db.Recover().ok());
+    auto mem_t = *db.GetTable("m");
+    auto stor_t = *db.GetTable("s");
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(mem_t, MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "keep-m");
+    ASSERT_TRUE(reader->Get(stor_t, MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "keep-s");
+    EXPECT_TRUE(reader->Get(mem_t, MakeKey(2), &v).IsNotFound())
+        << "mem half of the torn cross-engine txn must be rolled back";
+    EXPECT_TRUE(reader->Get(stor_t, MakeKey(2), &v).IsNotFound())
+        << "stor half must not appear either";
+  }
+}
+
+TEST_F(RecoveryTest, SingleEngineTxnsUnaffectedByCrossRollback) {
+  {
+    Database db(FileOptions());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto stor_t = *db.CreateTable("s", EngineKind::kStor);
+    // Single-engine commits interleaved with a torn cross txn.
+    auto a = db.Begin();
+    ASSERT_TRUE(a->Put(mem_t, MakeKey(10), "solo-m").ok());
+    ASSERT_TRUE(a->Commit().ok());
+    auto b = db.Begin();
+    ASSERT_TRUE(b->Put(stor_t, MakeKey(10), "solo-s").ok());
+    ASSERT_TRUE(b->Commit().ok());
+
+    EngineIface* mem = db.engine(0);
+    GlobalTxnId gtid = db.NextGtid();
+    auto t_mem = mem->Begin(IsolationLevel::kSnapshot, kMaxTimestamp);
+    ASSERT_TRUE(mem->Put(t_mem.get(), mem_t.local_id, MakeKey(11), "torn")
+                    .ok());
+    Timestamp cts;
+    ASSERT_TRUE(mem->PreCommit(t_mem.get(), gtid, true, &cts).ok());
+    mem->PostCommit(t_mem.get(), gtid, true);  // cross, but stor never logs
+    mem->FlushLog();
+  }
+  {
+    Database db(FileOptions());
+    ASSERT_TRUE(db.Recover().ok());
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(*db.GetTable("m"), MakeKey(10), &v).ok());
+    EXPECT_EQ(v, "solo-m");
+    ASSERT_TRUE(reader->Get(*db.GetTable("s"), MakeKey(10), &v).ok());
+    EXPECT_EQ(v, "solo-s");
+    EXPECT_TRUE(reader->Get(*db.GetTable("m"), MakeKey(11), &v).IsNotFound());
+  }
+}
+
+TEST_F(RecoveryTest, RecoveredDatabaseAcceptsNewTransactions) {
+  {
+    Database db(FileOptions());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto stor_t = *db.CreateTable("s", EngineKind::kStor);
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Put(mem_t, MakeKey(1), "one").ok());
+    ASSERT_TRUE(txn->Put(stor_t, MakeKey(1), "one").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    Database db(FileOptions());
+    ASSERT_TRUE(db.Recover().ok());
+    auto mem_t = *db.GetTable("m");
+    auto stor_t = *db.GetTable("s");
+    // Timestamps must have advanced past recovered commits: new writes win.
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Put(mem_t, MakeKey(1), "two").ok());
+    ASSERT_TRUE(txn->Put(stor_t, MakeKey(1), "two").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(mem_t, MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "two");
+    ASSERT_TRUE(reader->Get(stor_t, MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "two");
+  }
+}
+
+TEST_F(RecoveryTest, TornLogTailIgnored) {
+  {
+    Database db(FileOptions());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Put(mem_t, MakeKey(1), "good").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  // Corrupt the mem log with a truncated frame.
+  {
+    auto dev = FileDevice::Open(dir_ + "/mem.log");
+    ASSERT_TRUE(dev.ok());
+    uint32_t bogus_len = 1 << 20;
+    uint64_t off;
+    ASSERT_TRUE((*dev)
+                    ->Append(std::span<const uint8_t>(
+                                 reinterpret_cast<uint8_t*>(&bogus_len), 4),
+                             &off)
+                    .ok());
+  }
+  {
+    Database db(FileOptions());
+    ASSERT_TRUE(db.Recover().ok()) << "torn tail must not fail recovery";
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(*db.GetTable("m"), MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "good");
+  }
+}
+
+}  // namespace
+}  // namespace skeena
