@@ -1,0 +1,104 @@
+#include "bench/common/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/env.h"
+
+extern char* program_invocation_short_name;  // glibc; the bench binary name
+
+namespace skeena::bench {
+
+struct JsonEmitter::Impl {
+  std::mutex mu;
+  std::vector<std::tuple<std::string, std::string, std::string, double>>
+      points;
+};
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonEmitter::JsonEmitter() : impl_(new Impl) {}
+
+JsonEmitter& JsonEmitter::Global() {
+  static JsonEmitter* emitter = [] {
+    auto* e = new JsonEmitter();
+    std::atexit([] { Global().WriteFile(); });
+    return e;
+  }();
+  return *emitter;
+}
+
+void JsonEmitter::Add(const std::string& matrix, const std::string& row,
+                      const std::string& col, double value) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->points.emplace_back(matrix, row, col, value);
+}
+
+std::string JsonEmitter::WriteFile() {
+  if (!GetEnvBool("SKEENA_BENCH_JSON", true)) return "";
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->points.empty()) return "";
+
+  std::string name = program_invocation_short_name
+                         ? program_invocation_short_name
+                         : "bench";
+  std::string dir = GetEnvString("SKEENA_BENCH_JSON_DIR", ".");
+  std::string path = dir + "/BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"points\": [\n",
+               JsonEscape(name).c_str());
+  for (size_t i = 0; i < impl_->points.size(); ++i) {
+    const auto& [matrix, row, col, value] = impl_->points[i];
+    // NaN/inf are not valid JSON numbers; degrade them to 0.
+    double v = std::isfinite(value) ? value : 0.0;
+    std::fprintf(f,
+                 "    {\"matrix\": \"%s\", \"row\": \"%s\", \"col\": \"%s\", "
+                 "\"value\": %.6g}%s\n",
+                 JsonEscape(matrix).c_str(), JsonEscape(row).c_str(),
+                 JsonEscape(col).c_str(), v,
+                 i + 1 == impl_->points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stdout, "bench_json: wrote %s (%zu points)\n", path.c_str(),
+               impl_->points.size());
+  impl_->points.clear();
+  return path;
+}
+
+}  // namespace skeena::bench

@@ -1,0 +1,45 @@
+#ifndef SKEENA_BENCH_COMMON_BENCH_JSON_H_
+#define SKEENA_BENCH_COMMON_BENCH_JSON_H_
+
+// Perf-trajectory emitter. Every ResultMatrix::Set() forwards its point
+// here, and at process exit the collected points are written as
+// BENCH_<binary>.json so each bench run leaves a machine-readable record:
+//
+//   {
+//     "bench": "fig6_memres_micro",
+//     "points": [
+//       {"matrix": "...", "row": "ERMIA", "col": "1", "value": 1234.5},
+//       ...
+//     ]
+//   }
+//
+// The output directory defaults to the cwd and can be redirected with
+// SKEENA_BENCH_JSON_DIR; SKEENA_BENCH_JSON=0 disables emission.
+
+#include <string>
+
+namespace skeena::bench {
+
+class JsonEmitter {
+ public:
+  /// Process-wide collector; first use registers the exit-time writer.
+  static JsonEmitter& Global();
+
+  /// Records one point. Thread-safe.
+  void Add(const std::string& matrix, const std::string& row,
+           const std::string& col, double value);
+
+  /// Writes BENCH_<name>.json now and clears the buffer. Returns the path
+  /// written, or "" when there is nothing to write / emission is disabled.
+  std::string WriteFile();
+
+ private:
+  JsonEmitter();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace skeena::bench
+
+#endif  // SKEENA_BENCH_COMMON_BENCH_JSON_H_

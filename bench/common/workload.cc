@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "bench/common/bench_json.h"
 #include "common/env.h"
 
 namespace skeena::bench {
@@ -120,6 +121,8 @@ void ResultMatrix::Set(const std::string& row, const std::string& column,
   }
   if (values_[r].size() <= col) values_[r].resize(col + 1, 0);
   values_[r][col] = value;
+  // Every matrix cell is also a perf-trajectory point (BENCH_<bin>.json).
+  JsonEmitter::Global().Add(title_, row, column, value);
 }
 
 void ResultMatrix::Print(int digits) const {

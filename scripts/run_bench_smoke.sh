@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke-runs one (or more) bench binaries at tiny scale and checks that each
+# produced a valid BENCH_<name>.json trajectory point file.
+#
+# Usage: scripts/run_bench_smoke.sh [build_dir] [bench ...]
+#   build_dir  CMake build tree (default: build)
+#   bench      bench target names (default: abort_rate)
+#
+# Scale knobs are env-driven (see bench/common/workload.h); this script
+# pins them down to smoke size unless the caller overrides.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+BENCHES=("${@:-abort_rate}")
+
+export SKEENA_BENCH_MS="${SKEENA_BENCH_MS:-50}"
+export SKEENA_BENCH_CONNS="${SKEENA_BENCH_CONNS:-1,2}"
+
+OUT_DIR="${SKEENA_BENCH_JSON_DIR:-$BUILD_DIR/bench_json}"
+mkdir -p "$OUT_DIR"
+export SKEENA_BENCH_JSON_DIR="$OUT_DIR"
+
+fail=0
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "run_bench_smoke: missing binary $bin (build with -DSKEENA_BUILD_BENCH=ON)" >&2
+    exit 2
+  fi
+  json="$OUT_DIR/BENCH_$bench.json"
+  rm -f "$json"
+  echo "=== smoke: $bench (${SKEENA_BENCH_MS} ms/cell, conns ${SKEENA_BENCH_CONNS}) ==="
+  "$bin"
+  if [[ ! -s "$json" ]]; then
+    echo "run_bench_smoke: $bench did not write $json" >&2
+    fail=1
+    continue
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"], "empty bench name"
+assert doc["points"], "no points recorded"
+for p in doc["points"]:
+    assert set(p) == {"matrix", "row", "col", "value"}, f"bad point {p}"
+    assert isinstance(p["value"], (int, float)), f"bad value {p}"
+print(f"  OK {sys.argv[1]}: {len(doc['points'])} points")
+EOF
+  else
+    echo "  wrote $json (python3 unavailable; skipped schema check)"
+  fi
+done
+exit $fail

@@ -42,22 +42,13 @@ std::unique_ptr<SubTxn> MemEngineAdapter::Begin(IsolationLevel iso,
   auto sub = std::make_unique<MemSubTxn>();
   sub->txn = engine_.Begin(
       iso, snapshot == kMaxTimestamp ? kInvalidTimestamp : snapshot);
+  if (sub->txn == nullptr) return nullptr;  // snapshot predates GC floor
   return sub;
 }
 
-void MemEngineAdapter::RefreshSnapshot(SubTxn* sub, Timestamp snapshot) {
-  memdb::MemTxn* txn = AsMem(sub);
-  if (snapshot == kMaxTimestamp) {
-    engine_.RefreshSnapshot(txn);
-  } else {
-    // Coordinator-chosen snapshot: rebegin at the given timestamp.
-    engine_.RefreshSnapshot(txn);  // re-registers; then pin the snapshot
-    // memdb snapshots are plain timestamps; a RefreshSnapshot to an explicit
-    // value is only used by read-committed cross-engine transactions, where
-    // the coordinator always passes the latest anchor snapshot, so this
-    // path is unreachable today. Guarded for future use:
-    (void)snapshot;
-  }
+Status MemEngineAdapter::RefreshSnapshot(SubTxn* sub, Timestamp snapshot) {
+  return engine_.RefreshSnapshot(
+      AsMem(sub), snapshot == kMaxTimestamp ? kInvalidTimestamp : snapshot);
 }
 
 Status MemEngineAdapter::Get(SubTxn* sub, TableId table, const Key& key,
@@ -143,11 +134,12 @@ std::unique_ptr<SubTxn> StorEngineAdapter::Begin(IsolationLevel iso,
                                                  Timestamp snapshot) {
   auto sub = std::make_unique<StorSubTxn>();
   sub->txn = engine_.Begin(iso, snapshot);
+  if (sub->txn == nullptr) return nullptr;  // snapshot predates purge floor
   return sub;
 }
 
-void StorEngineAdapter::RefreshSnapshot(SubTxn* sub, Timestamp snapshot) {
-  engine_.RefreshSnapshot(AsStor(sub), snapshot);
+Status StorEngineAdapter::RefreshSnapshot(SubTxn* sub, Timestamp snapshot) {
+  return engine_.RefreshSnapshot(AsStor(sub), snapshot);
 }
 
 Status StorEngineAdapter::Get(SubTxn* sub, TableId table, const Key& key,

@@ -27,7 +27,7 @@ class MemEngineAdapter : public EngineIface {
   Timestamp LatestSnapshot() const override;
   std::unique_ptr<SubTxn> Begin(IsolationLevel iso,
                                 Timestamp snapshot) override;
-  void RefreshSnapshot(SubTxn* sub, Timestamp snapshot) override;
+  Status RefreshSnapshot(SubTxn* sub, Timestamp snapshot) override;
 
   Status Get(SubTxn* sub, TableId table, const Key& key,
              std::string* value) override;
@@ -74,7 +74,7 @@ class StorEngineAdapter : public EngineIface {
   Timestamp LatestSnapshot() const override;
   std::unique_ptr<SubTxn> Begin(IsolationLevel iso,
                                 Timestamp snapshot) override;
-  void RefreshSnapshot(SubTxn* sub, Timestamp snapshot) override;
+  Status RefreshSnapshot(SubTxn* sub, Timestamp snapshot) override;
 
   Status Get(SubTxn* sub, TableId table, const Key& key,
              std::string* value) override;

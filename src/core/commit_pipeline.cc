@@ -43,7 +43,8 @@ CommitPipeline::~CommitPipeline() {
   }
 }
 
-void CommitPipeline::Enqueue(const Lsn lsns[2], CommitWaiter* waiter,
+void CommitPipeline::Enqueue(const Lsn lsns[2],
+                             std::shared_ptr<CommitWaiter> waiter,
                              size_t queue_hint) {
   if (options_.mode == Mode::kSync) {
     // Ablation baseline: the worker thread pays for both flushes itself.
@@ -63,13 +64,14 @@ void CommitPipeline::Enqueue(const Lsn lsns[2], CommitWaiter* waiter,
     Entry e;
     e.lsns[0] = lsns[0];
     e.lsns[1] = lsns[1];
-    e.waiter = waiter;
-    q.entries.push_back(e);
+    e.waiter = std::move(waiter);
+    q.entries.push_back(std::move(e));
   }
   q.cv.notify_one();
 }
 
-void CommitPipeline::EnqueueAndWait(const Lsn lsns[2], CommitWaiter* waiter,
+void CommitPipeline::EnqueueAndWait(const Lsn lsns[2],
+                                    const std::shared_ptr<CommitWaiter>& waiter,
                                     size_t queue_hint) {
   waiter->Reset();
   Enqueue(lsns, waiter, queue_hint);
@@ -89,7 +91,7 @@ void CommitPipeline::DaemonLoop(size_t queue_idx) {
         if (stop_.load(std::memory_order_acquire)) return;
         continue;
       }
-      entry = q.entries.front();
+      entry = std::move(q.entries.front());
       q.entries.pop_front();
     }
     // Wait until both engines have persisted this transaction's records.

@@ -76,12 +76,15 @@ class CommitPipeline {
   /// Enqueues a committed transaction awaiting durability of
   /// `lsns[engine]` in each engine (0 = nothing to wait for in that
   /// engine). `waiter->Complete()` fires when durable. `queue_hint`
-  /// selects the partitioned queue (e.g., worker id).
-  void Enqueue(const Lsn lsns[2], CommitWaiter* waiter,
+  /// selects the partitioned queue (e.g., worker id). The waiter is shared:
+  /// the daemon keeps its own reference while completing, so the waiting
+  /// side may destroy its handle the moment Wait() returns.
+  void Enqueue(const Lsn lsns[2], std::shared_ptr<CommitWaiter> waiter,
                size_t queue_hint = 0);
 
   /// Convenience: enqueue + block until durable.
-  void EnqueueAndWait(const Lsn lsns[2], CommitWaiter* waiter,
+  void EnqueueAndWait(const Lsn lsns[2],
+                      const std::shared_ptr<CommitWaiter>& waiter,
                       size_t queue_hint = 0);
 
   uint64_t completed() const {
@@ -91,7 +94,7 @@ class CommitPipeline {
  private:
   struct Entry {
     Lsn lsns[2];
-    CommitWaiter* waiter;
+    std::shared_ptr<CommitWaiter> waiter;
   };
   struct Queue {
     std::mutex mu;

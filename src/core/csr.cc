@@ -9,15 +9,15 @@ namespace {
 constexpr size_t kNpos = ~size_t{0};
 constexpr int kMaxRetries = 16;
 
-// Comparator for (key, value) pairs by key only.
+// Comparator for entries by key only.
 struct KeyLess {
-  bool operator()(const std::pair<Timestamp, Timestamp>& a,
-                  Timestamp key) const {
-    return a.first < key;
+  template <typename Entry>
+  bool operator()(const Entry& a, Timestamp key) const {
+    return a.key < key;
   }
-  bool operator()(Timestamp key,
-                  const std::pair<Timestamp, Timestamp>& a) const {
-    return key < a.first;
+  template <typename Entry>
+  bool operator()(Timestamp key, const Entry& a) const {
+    return key < a.key;
   }
 };
 }  // namespace
@@ -46,24 +46,28 @@ SnapshotRegistry::MapResult SnapshotRegistry::MapLocked(size_t idx,
   bool is_last = idx + 1 == partitions_.size();
   auto it = std::lower_bound(p.entries.begin(), p.entries.end(), key,
                              KeyLess{});
-  if (it != p.entries.end() && it->first == key) {
-    if (it->second >= value) return MapResult::kOk;  // already covered
+  if (it != p.entries.end() && it->key == key) {
+    if (value >= it->vmin && value <= it->vmax) {
+      return MapResult::kOk;  // already covered by the interval
+    }
     if (!is_last) {
-      // Raising a value is a new mapping; sealed partitions are immutable.
+      // Widening the interval is a new mapping; sealed partitions are
+      // immutable.
       return MapResult::kSealed;
     }
-    it->second = value;
+    it->vmin = std::min(it->vmin, value);
+    it->vmax = std::max(it->vmax, value);
     return MapResult::kOk;
   }
   if (!is_last) return MapResult::kSealed;
   if (!PartitionFull(p)) {
-    p.entries.insert(it, {key, value});
+    p.entries.insert(it, Entry{key, value, value});
     if (key < p.min_key) p.min_key = key;
     return MapResult::kOk;
   }
   // The open partition is full: a fresh key beyond its range moves to a new
   // partition; anything inside its range can no longer be mapped.
-  if (key > p.entries.back().first) return MapResult::kNeedNewPartition;
+  if (key > p.entries.back().key) return MapResult::kNeedNewPartition;
   return MapResult::kSealed;
 }
 
@@ -80,7 +84,7 @@ void SnapshotRegistry::CreatePartition(Timestamp min_key) {
   std::lock_guard<std::mutex> pl(last->mu);
   // Re-check under the exclusive latch: another thread may have created the
   // partition already, or the open partition may have room after all.
-  if (!PartitionFull(*last) || min_key <= last->entries.back().first) {
+  if (!PartitionFull(*last) || min_key <= last->entries.back().key) {
     return;  // retry will re-locate
   }
   auto p = std::make_unique<Partition>();
@@ -116,25 +120,26 @@ Result<Timestamp> SnapshotRegistry::SelectSnapshot(
         bool have_pred = it != p.entries.begin();
         if (have_pred) {
           // Algorithm 1 line 9: latest snapshot mapped to a key <= ours.
-          selected = std::prev(it)->second;
+          selected = std::prev(it)->vmax;
         } else {
           // No candidate: use the latest other-engine snapshot (Algorithm 1
           // line 6) — but stay strictly below any mapping made at a *newer*
           // anchor position: if that successor is a commit, reading at or
           // past its other-engine timestamp would show us a transaction
           // whose anchor effects are ahead of our snapshot (DSI Rule 8 /
-          // the Figure 2(a) skew). Successor mappings only exist here in
-          // the rare window where this partition was just created.
+          // the Figure 2(a) skew). The successor's smallest value is the
+          // binding one. Successor mappings only exist here in the rare
+          // window where this partition was just created.
           selected = latest_other();
           if (it != p.entries.end()) {
-            selected = std::min(selected, it->second - 1);
+            selected = std::min(selected, it->vmin - 1);
           } else if (idx + 1 < partitions_.size()) {
             Partition& succ = *partitions_[idx + 1];
             bool succ_last = idx + 2 == partitions_.size();
             std::unique_lock<std::mutex> sl;
             if (succ_last) sl = std::unique_lock<std::mutex>(succ.mu);
             if (!succ.entries.empty()) {
-              selected = std::min(selected, succ.entries.front().second - 1);
+              selected = std::min(selected, succ.entries.front().vmin - 1);
             }
           }
         }
@@ -205,33 +210,35 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
         auto it = std::lower_bound(p.entries.begin(), p.entries.end(),
                                    anchor_cts, KeyLess{});
         // Same-key entry: a reader at exactly our anchor commit timestamp
-        // sees our anchor writes; if we really wrote in both engines, its
-        // other-engine view must already cover our other-engine commit.
+        // sees our anchor writes; if we really wrote in both engines, every
+        // other-engine view registered at this key must already cover our
+        // other-engine commit — the SMALLEST registered view is the binding
+        // one.
         if (anchor_engine_wrote && other_engine_wrote &&
-            it != p.entries.end() && it->first == anchor_cts &&
-            it->second < other_cts) {
+            it != p.entries.end() && it->key == anchor_cts &&
+            it->vmin < other_cts) {
           commit_aborts_.fetch_add(1, std::memory_order_relaxed);
           return Status::SkeenaAbort(
               "commit check failed: reader tie at anchor commit");
         }
         if (it != p.entries.begin()) {
-          low = std::prev(it)->second;
+          low = std::prev(it)->vmax;
         } else if (idx > 0) {
           // Boundary hardening: the true predecessor lives in the previous
           // (sealed, immutable) partition.
           const Partition& pred = *partitions_[idx - 1];
-          if (!pred.entries.empty()) low = pred.entries.back().second;
+          if (!pred.entries.empty()) low = pred.entries.back().vmax;
         }
         auto succ = it;
-        if (succ != p.entries.end() && succ->first == anchor_cts) ++succ;
+        if (succ != p.entries.end() && succ->key == anchor_cts) ++succ;
         if (succ != p.entries.end()) {
-          high = succ->second;
+          high = succ->vmin;
         } else if (idx + 1 < partitions_.size()) {
           Partition& nextp = *partitions_[idx + 1];
           bool next_last = idx + 2 == partitions_.size();
           std::unique_lock<std::mutex> nl;
           if (next_last) nl = std::unique_lock<std::mutex>(nextp.mu);
-          if (!nextp.entries.empty()) high = nextp.entries.front().second;
+          if (!nextp.entries.empty()) high = nextp.entries.front().vmin;
         }
 
         bool low_violated =
@@ -278,6 +285,27 @@ void SnapshotRegistry::Recycle() {
     partitions_recycled_.fetch_add(drop, std::memory_order_relaxed);
     floor_ = partitions_.front()->min_key;
   }
+}
+
+Timestamp SnapshotRegistry::MinSelectableValue(Timestamp anchor_snap) const {
+  std::shared_lock<std::shared_mutex> list(list_mu_);
+  if (partitions_.empty()) return kMaxTimestamp;
+  size_t idx = LocatePartition(anchor_snap);
+  // Anchors below the floor abort at selection; they constrain nothing.
+  if (idx == kNpos) return kMaxTimestamp;
+  // Find the nearest mapping at a key <= anchor_snap, walking across
+  // partition boundaries (the true predecessor may live in an older,
+  // sealed partition).
+  for (size_t i = idx + 1; i-- > 0;) {
+    Partition& p = *partitions_[i];
+    bool is_last = i + 1 == partitions_.size();
+    std::unique_lock<std::mutex> pl;
+    if (is_last) pl = std::unique_lock<std::mutex>(p.mu);
+    auto it = std::upper_bound(p.entries.begin(), p.entries.end(),
+                               anchor_snap, KeyLess{});
+    if (it != p.entries.begin()) return std::prev(it)->vmax;
+  }
+  return kMaxTimestamp;
 }
 
 void SnapshotRegistry::TickAccess() {

@@ -26,12 +26,14 @@ namespace skeena {
 ///
 /// Design notes mirroring the paper:
 ///  * One-to-many mappings keyed by anchor snapshots (the anchor-engine
-///    optimization of Section 4.3). We additionally collapse values at the
-///    same key to their maximum: Algorithm 1 only ever uses the max value
-///    at keys <= s, and Algorithm 2's bounds come from strict neighbors, so
-///    smaller same-key values are dead weight. This is what keeps the
-///    "InnoDB-only under Skeena" workload at a single CSR entry
-///    (Section 6.3).
+///    optimization of Section 4.3). Same-key values are collapsed to a
+///    [vmin, vmax] interval per key: Algorithm 1 only ever uses the max
+///    value at keys <= s, but Algorithm 2's high bound and same-key tie
+///    check need the MIN — a reader that registered a small other-engine
+///    view at this key still forbids later commits at earlier anchor
+///    positions from publishing past it (dropping the min re-introduces
+///    the Figure 2(a) skew). The interval keeps the "InnoDB-only under
+///    Skeena" workload at a single CSR entry (Section 6.3).
 ///  * Multi-index: the registry is a list of partitions, each covering a
 ///    disjoint anchor-snapshot range with a bounded number of keys. Only
 ///    the newest partition accepts inserts; needing a new mapping in a
@@ -108,17 +110,32 @@ class SnapshotRegistry {
   /// recycle_period accesses).
   void Recycle();
 
+  /// The smallest other-engine snapshot SelectSnapshot could still hand to
+  /// a transaction whose anchor snapshot is >= `anchor_snap`: the
+  /// predecessor mapping's max value at `anchor_snap` (selection values are
+  /// monotone in the anchor key). kMaxTimestamp when no mapping constrains
+  /// the selection (the fallback then uses the live engine clock). Engine
+  /// GC uses this to avoid reclaiming versions a live anchor snapshot may
+  /// still cross into (the engine-side analogue of Section 4.4 recycling).
+  Timestamp MinSelectableValue(Timestamp anchor_snap) const;
+
   size_t PartitionCount() const;
   size_t EntryCount() const;
   Stats stats() const;
 
  private:
+  struct Entry {
+    Timestamp key;   // anchor-engine snapshot
+    Timestamp vmin;  // smallest other-engine snapshot mapped to the key
+    Timestamp vmax;  // largest other-engine snapshot mapped to the key
+  };
+
   struct Partition {
     Timestamp min_key;  // first key mapped into this partition
     std::mutex mu;
-    // Sorted by key; unique keys; value = max other-engine snapshot mapped
-    // to the key.
-    std::vector<std::pair<Timestamp, Timestamp>> entries;
+    // Sorted by key; unique keys; per-key [vmin, vmax] interval of the
+    // other-engine snapshots mapped to that key.
+    std::vector<Entry> entries;
   };
 
   enum class MapResult { kOk, kNeedNewPartition, kSealed };

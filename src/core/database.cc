@@ -51,10 +51,37 @@ Database::Database(DatabaseOptions options)
   engines_[static_cast<int>(EngineKind::kStor)] = stor_;
   anchor_index_ = static_cast<int>(options_.anchor);
 
-  csr_.SetMinAnchorProvider([this] {
+  // Engine-side GC pinning (the engine analogue of CSR recycling,
+  // Section 4.4): a live transaction's anchor snapshot must keep BOTH
+  // engines readable for a crossing it has not made yet. The anchor engine
+  // is pinned by the oldest active anchor snapshot itself; the other
+  // engine by the oldest snapshot the CSR could still select for such an
+  // anchor (the predecessor mapping's value).
+  auto min_anchor = [this] {
     return anchor_registry_.MinActive(
         engines_[anchor_index_]->LatestSnapshot());
-  });
+  };
+  csr_.SetMinAnchorProvider(min_anchor);
+  auto min_other = [this, min_anchor] {
+    Timestamp v = csr_.MinSelectableValue(min_anchor());
+    return v;  // kMaxTimestamp = unconstrained (fallback uses live clock)
+  };
+  bool mem_is_anchor = anchor_index_ == static_cast<int>(EngineKind::kMem);
+  // memdb registers plain snapshots; stordb registers view horizons
+  // (ser_limit + 1) — hence the +1 on the stordb bounds.
+  if (mem_is_anchor) {
+    mem_->engine()->SetGcHorizonProvider(min_anchor);
+    stor_->engine()->SetPurgeHorizonProvider([min_other] {
+      Timestamp v = min_other();
+      return v == kMaxTimestamp ? v : v + 1;
+    });
+  } else {
+    stor_->engine()->SetPurgeHorizonProvider([min_anchor] {
+      Timestamp v = min_anchor();
+      return v == kMaxTimestamp ? v : v + 1;
+    });
+    mem_->engine()->SetGcHorizonProvider(min_other);
+  }
 
   pipeline_ = std::make_unique<CommitPipeline>(options_.pipeline, engines_[0],
                                                engines_[1]);

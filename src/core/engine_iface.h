@@ -44,9 +44,16 @@ class EngineIface {
   /// fallback).
   virtual Timestamp LatestSnapshot() const = 0;
 
+  /// Begins a sub-transaction. Returns nullptr when a coordinator-chosen
+  /// snapshot can no longer be served (it predates the engine's GC/purge
+  /// floor); the coordinator treats this as a Skeena abort and the caller
+  /// retries with a fresh snapshot.
   virtual std::unique_ptr<SubTxn> Begin(IsolationLevel iso,
                                         Timestamp snapshot) = 0;
-  virtual void RefreshSnapshot(SubTxn* sub, Timestamp snapshot) = 0;
+  /// Replaces the sub-transaction's snapshot (read-committed refresh).
+  /// Fails with kSkeenaAbort when the requested snapshot predates the
+  /// engine's GC/purge floor.
+  virtual Status RefreshSnapshot(SubTxn* sub, Timestamp snapshot) = 0;
 
   virtual Status Get(SubTxn* sub, TableId table, const Key& key,
                      std::string* value) = 0;

@@ -42,7 +42,8 @@ Status Transaction::PrepareAccess(int e) {
       subs_[e] = db_->engine(e)->Begin(iso_, kMaxTimestamp);
       used_[e] = true;
     } else if (iso_ == IsolationLevel::kReadCommitted) {
-      db_->engine(e)->RefreshSnapshot(subs_[e].get(), kMaxTimestamp);
+      SKEENA_RETURN_NOT_OK(
+          db_->engine(e)->RefreshSnapshot(subs_[e].get(), kMaxTimestamp));
     }
     return Status::OK();
   }
@@ -55,8 +56,10 @@ Status Transaction::PrepareAccess(int e) {
     db_->anchor_registry().BeginAcquire(anchor_slot_);
     anchor_snap_ = db_->engine(anchor)->LatestSnapshot();
     db_->anchor_registry().SetSnapshot(anchor_slot_, anchor_snap_);
+    Status refreshed;
     if (e == anchor) {
-      db_->engine(e)->RefreshSnapshot(subs_[e].get(), anchor_snap_);
+      refreshed = db_->engine(e)->RefreshSnapshot(subs_[e].get(),
+                                                  anchor_snap_);
     } else {
       auto sel = db_->csr().SelectSnapshot(anchor_snap_, [this, e] {
         return db_->engine(e)->LatestSnapshot();
@@ -65,7 +68,11 @@ Status Transaction::PrepareAccess(int e) {
         Abort();
         return sel.status();
       }
-      db_->engine(e)->RefreshSnapshot(subs_[e].get(), *sel);
+      refreshed = db_->engine(e)->RefreshSnapshot(subs_[e].get(), *sel);
+    }
+    if (!refreshed.ok()) {
+      Abort();
+      return refreshed;
     }
     return Status::OK();
   }
@@ -87,6 +94,12 @@ Status Transaction::PrepareAccess(int e) {
       return sel.status();
     }
     subs_[e] = db_->engine(e)->Begin(iso_, *sel);
+  }
+  if (subs_[e] == nullptr) {
+    // The engine refused the snapshot: its GC/purge floor moved past it
+    // between selection and registration. Retryable, like a CSR abort.
+    Abort();
+    return Status::SkeenaAbort("selected snapshot predates engine GC floor");
   }
   used_[e] = true;
   return Status::OK();
@@ -230,7 +243,8 @@ Status Transaction::Commit() {
   // (Section 4.5). The wait is on this handle so callers get synchronous
   // commit semantics while worker threads of the engines stay off the I/O
   // path.
-  db_->pipeline().EnqueueAndWait(lsns, &waiter_,
+  if (!waiter_) waiter_ = std::make_shared<CommitWaiter>();
+  db_->pipeline().EnqueueAndWait(lsns, waiter_,
                                  static_cast<size_t>(gtid_));
   return Status::OK();
 }
@@ -238,7 +252,7 @@ Status Transaction::Commit() {
 void Transaction::Abort() {
   if (state_ != State::kActive) return;
   for (int e = 0; e < kNumEngines; ++e) {
-    if (used_[e]) db_->engine(e)->Abort(subs_[e].get());
+    if (used_[e] && subs_[e] != nullptr) db_->engine(e)->Abort(subs_[e].get());
   }
   ReleaseAnchorSlot();
   state_ = State::kAborted;

@@ -92,7 +92,10 @@ class Transaction {
   enum class State { kActive, kCommitted, kAborted };
   State state_ = State::kActive;
 
-  CommitWaiter waiter_;
+  // Shared with the commit daemon: it may still be completing this waiter
+  // when the transaction object is destroyed. Allocated lazily in Commit()
+  // — read-only/aborted transactions never reach the pipeline.
+  std::shared_ptr<CommitWaiter> waiter_;
 };
 
 }  // namespace skeena

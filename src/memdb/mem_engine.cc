@@ -44,17 +44,34 @@ std::unique_ptr<MemTxn> MemEngine::Begin(IsolationLevel iso,
                                          Timestamp snapshot) {
   size_t slot = active_.Acquire();
   active_.BeginAcquire(slot);
-  if (snapshot == kInvalidTimestamp) {
+  bool pinned = snapshot != kInvalidTimestamp;
+  if (!pinned) {
     snapshot = LatestSnapshot();
   }
   active_.SetSnapshot(slot, snapshot);
+  // Validate AFTER registering (seq_cst store then seq_cst load): either
+  // the GC's registry scan already saw this slot, or this load sees the
+  // floor that scan published — so a stale pinned snapshot is always
+  // caught before it can chase pruned versions.
+  if (pinned && snapshot < gc_published_.load(std::memory_order_seq_cst)) {
+    active_.Release(slot);
+    return nullptr;
+  }
   return std::make_unique<MemTxn>(snapshot, iso, slot);
 }
 
-void MemEngine::RefreshSnapshot(MemTxn* txn) {
+Status MemEngine::RefreshSnapshot(MemTxn* txn, Timestamp snapshot) {
+  bool pinned = snapshot != kInvalidTimestamp;
   active_.BeginAcquire(txn->registry_slot());
-  txn->begin_ts_ = LatestSnapshot();
+  txn->begin_ts_ = pinned ? snapshot : LatestSnapshot();
   active_.SetSnapshot(txn->registry_slot(), txn->begin_ts_);
+  // Same validate-after-register protocol as Begin. On failure the slot
+  // stays registered (conservatively holding the GC floor down) until the
+  // caller aborts the transaction.
+  if (pinned && snapshot < gc_published_.load(std::memory_order_seq_cst)) {
+    return Status::SkeenaAbort("refresh snapshot predates GC floor");
+  }
+  return Status::OK();
 }
 
 Version* MemEngine::ReadVisible(Record* rec, Timestamp snapshot) const {
@@ -325,7 +342,22 @@ void MemEngine::PruneVersions(Version* new_head, Timestamp horizon) {
 void MemEngine::MaybeAdvanceGcHorizon() {
   uint64_t c = commit_count_.load(std::memory_order_relaxed);
   if (options_.gc_interval == 0 || c % options_.gc_interval != 0) return;
-  gc_horizon_.store(MinActiveSnapshot(), std::memory_order_release);
+  std::unique_lock<std::mutex> lock(gc_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;  // another committer is advancing
+  Timestamp m = MinActiveSnapshot();
+  if (gc_horizon_provider_) m = std::min(m, gc_horizon_provider_());
+  Timestamp pub = gc_published_.load(std::memory_order_seq_cst);
+  // Prune with min(scan, previously published floor): a pinned begin the
+  // scan missed registered after the scan started, and then its floor
+  // check (Begin) is ordered after the publication of `pub` — one of the
+  // two bounds always covers every live snapshot.
+  Timestamp apply = std::min(m, pub);
+  if (apply > gc_horizon_.load(std::memory_order_relaxed)) {
+    gc_horizon_.store(apply, std::memory_order_seq_cst);
+  }
+  if (m > pub) {
+    gc_published_.store(m, std::memory_order_seq_cst);
+  }
 }
 
 MemEngine::Stats MemEngine::stats() const {
@@ -397,6 +429,7 @@ Status MemEngine::Recover(const std::set<GlobalTxnId>& excluded) {
   }
   clock_.store(max_cts, std::memory_order_release);
   gc_horizon_.store(max_cts, std::memory_order_release);
+  gc_published_.store(max_cts, std::memory_order_release);
   return Status::OK();
 }
 

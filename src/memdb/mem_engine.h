@@ -64,12 +64,19 @@ class MemEngine {
   }
 
   /// Begins a transaction. `snapshot == kInvalidTimestamp` means "latest".
+  /// A coordinator-chosen (cross-engine) snapshot that has already fallen
+  /// below the version-GC floor returns nullptr: the versions it would read
+  /// may be pruned, so the caller must re-select (Skeena treats this like a
+  /// CSR abort and retries with a fresh snapshot).
   std::unique_ptr<MemTxn> Begin(IsolationLevel iso,
                                 Timestamp snapshot = kInvalidTimestamp);
 
-  /// Re-acquires the latest snapshot (read-committed mode refreshes the
-  /// snapshot on every record access, paper Table 2).
-  void RefreshSnapshot(MemTxn* txn);
+  /// Re-acquires the transaction's snapshot (read-committed mode refreshes
+  /// on every record access, paper Table 2). `snapshot == kInvalidTimestamp`
+  /// means "latest"; a coordinator-chosen snapshot below the GC floor fails
+  /// with kSkeenaAbort (like Begin, the caller must re-select).
+  Status RefreshSnapshot(MemTxn* txn,
+                         Timestamp snapshot = kInvalidTimestamp);
 
   Status Get(MemTxn* txn, TableId table, const Key& key, std::string* value);
   Status Put(MemTxn* txn, TableId table, const Key& key,
@@ -105,6 +112,14 @@ class MemEngine {
     return active_.MinActive(LatestSnapshot());
   }
 
+  /// External bound on the GC horizon: the coordinator supplies the oldest
+  /// snapshot a live cross-engine transaction could still select into this
+  /// engine (via the CSR), so version pruning never outruns a crossing
+  /// that has not materialized its read view yet.
+  void SetGcHorizonProvider(std::function<Timestamp()> provider) {
+    gc_horizon_provider_ = std::move(provider);
+  }
+
   /// Replays the engine's log into the (already created) tables. Data of
   /// cross-engine transactions whose gtid is in `excluded` is skipped —
   /// core recovery computes that set from both engines' logs (Section 4.6).
@@ -129,7 +144,16 @@ class MemEngine {
 
   std::atomic<Timestamp> clock_{1};  // ts 1 = pre-loaded ("genesis") data
   ActiveSnapshotRegistry active_;
+  // Two-level GC floor. `gc_published_` is what new pinned-snapshot
+  // transactions validate against; `gc_horizon_` is what pruning actually
+  // uses and trails it by one advance round: a pruning bound only becomes
+  // usable after a registry scan confirmed it AND it was published before
+  // that scan, so a pinned begin either is seen by the scan or sees the
+  // published floor — never neither (see MaybeAdvanceGcHorizon).
   std::atomic<Timestamp> gc_horizon_{1};
+  std::atomic<Timestamp> gc_published_{1};
+  std::mutex gc_mu_;
+  std::function<Timestamp()> gc_horizon_provider_;
   std::atomic<uint64_t> commit_count_{0};
   std::atomic<uint64_t> abort_count_{0};
   std::atomic<uint64_t> pruned_count_{0};

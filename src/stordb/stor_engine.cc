@@ -69,8 +69,10 @@ std::unique_ptr<StorTxn> StorEngine::Begin(IsolationLevel iso,
   txn->pending_ser_limit_ = snapshot;
   if (snapshot != kMaxTimestamp) {
     // Cross-engine snapshot known up front: materialize the adjusted view
-    // immediately (Skeena selects it before any data access).
-    EnsureView(txn.get());
+    // immediately (Skeena selects it before any data access). A snapshot
+    // below the purge floor cannot be served — its undo chain may already
+    // be reclaimed.
+    if (!EnsureView(txn.get()).ok()) return nullptr;
   }
   return txn;
 }
@@ -81,29 +83,41 @@ void StorEngine::EnsureTid(StorTxn* txn) {
   if (txn->has_view_) txn->view_.own_tid = txn->tid_;
 }
 
-void StorEngine::EnsureView(StorTxn* txn) {
-  if (txn->has_view_) return;
+Status StorEngine::EnsureView(StorTxn* txn) {
+  if (txn->has_view_) return Status::OK();
+  bool pinned = txn->pending_ser_limit_ != kMaxTimestamp;
   txn->view_slot_ = trx_sys_.view_registry().Acquire();
   trx_sys_.view_registry().BeginAcquire(txn->view_slot_);
   txn->view_ = trx_sys_.CreateReadView(txn->tid_);
   Timestamp horizon;
-  if (txn->pending_ser_limit_ != kMaxTimestamp) {
+  if (pinned) {
     txn->view_.AdjustForCrossEngine(txn->pending_ser_limit_);
     horizon = txn->pending_ser_limit_ + 1;
   } else {
     horizon = txn->view_.low_water;
   }
   trx_sys_.view_registry().SetSnapshot(txn->view_slot_, horizon);
+  // Validate AFTER registering (seq_cst store then seq_cst load): either
+  // the purger's registry scan already saw this view, or this load sees
+  // the floor published before that scan — a CSR snapshot whose undo
+  // chains may be reclaimed is always rejected here. Native views draw
+  // their horizon from the live transaction table and cannot be stale.
+  if (pinned &&
+      horizon < purge_published_.load(std::memory_order_seq_cst)) {
+    trx_sys_.view_registry().Release(txn->view_slot_);
+    return Status::SkeenaAbort("cross-engine snapshot predates undo purge");
+  }
   txn->has_view_ = true;
+  return Status::OK();
 }
 
-void StorEngine::RefreshSnapshot(StorTxn* txn, Timestamp snapshot) {
+Status StorEngine::RefreshSnapshot(StorTxn* txn, Timestamp snapshot) {
   if (txn->has_view_) {
     trx_sys_.view_registry().Release(txn->view_slot_);
     txn->has_view_ = false;
   }
   txn->pending_ser_limit_ = snapshot;
-  EnsureView(txn);
+  return EnsureView(txn);
 }
 
 Rid StorEngine::AllocateSlot(StorTable* t) {
@@ -174,7 +188,7 @@ Status StorEngine::Get(StorTxn* txn, TableId table, const Key& key,
                        std::string* value) {
   StorTable* t = GetTable(table);
   if (t == nullptr) return Status::InvalidArgument("no such table");
-  EnsureView(txn);
+  SKEENA_RETURN_NOT_OK(EnsureView(txn));
   uint64_t ridv = 0;
   if (!t->index.Lookup(key, &ridv)) return Status::NotFound();
   Rid rid = ridv;
@@ -197,7 +211,7 @@ Status StorEngine::Scan(
     const std::function<bool(const Key&, const std::string&)>& cb) {
   StorTable* t = GetTable(table);
   if (t == nullptr) return Status::InvalidArgument("no such table");
-  EnsureView(txn);
+  SKEENA_RETURN_NOT_OK(EnsureView(txn));
   size_t delivered = 0;
   Status status;
   t->index.ScanFrom(lower, [&](const Key& key, uint64_t ridv) {
@@ -275,7 +289,7 @@ Status StorEngine::WriteRow(StorTxn* txn, StorTable* t, const Key& key,
     return Status::InvalidArgument("value exceeds table max_value_size");
   }
   EnsureTid(txn);
-  EnsureView(txn);
+  SKEENA_RETURN_NOT_OK(EnsureView(txn));
 
   for (int attempt = 0; attempt < 4; ++attempt) {
     uint64_t ridv = 0;
@@ -457,11 +471,18 @@ void StorEngine::FinishTxn(StorTxn* txn) {
 
 void StorEngine::RetireUndos(StorTxn* txn) {
   if (txn->undos_.empty()) return;
-  // Undo images must outlive every view that may still walk them; retire
-  // under the transaction's commit order (aborted transactions use the
-  // current counter as a conservative bound).
-  uint64_t ser = txn->ser_no_ != 0 ? txn->ser_no_
-                                   : trx_sys_.LatestSerSnapshot() + 1;
+  // Undo images must outlive every view that may still walk them. A
+  // committed transaction's undos are only walked by views older than its
+  // commit order, so its ser_no is the right retire bound. An ABORTED
+  // transaction's undos may be walked by ANY active view that captured the
+  // row header before the rollback — even views far newer than its
+  // pre-commit ser_no — so aborts always retire at the current counter:
+  // every such view began (and registered) before this point, which pins
+  // the purge bound below it.
+  bool committed = txn->state_ == StorTxn::State::kCommitted;
+  uint64_t ser = (committed && txn->ser_no_ != 0)
+                     ? txn->ser_no_
+                     : trx_sys_.LatestSerSnapshot() + 1;
   std::lock_guard<std::mutex> guard(retired_mu_);
   retired_.push_back(RetiredUndo{ser, std::move(txn->undos_)});
 }
@@ -469,7 +490,21 @@ void StorEngine::RetireUndos(StorTxn* txn) {
 void StorEngine::MaybePurge() {
   uint64_t c = commit_count_.load(std::memory_order_relaxed);
   if (options_.purge_interval == 0 || c % options_.purge_interval != 0) return;
-  uint64_t min_ser = trx_sys_.MinActiveViewSer();
+  std::unique_lock<std::mutex> purge_lock(purge_mu_, std::try_to_lock);
+  if (!purge_lock.owns_lock()) return;  // another committer is purging
+  uint64_t scan = trx_sys_.MinActiveViewSer();
+  if (purge_horizon_provider_) {
+    scan = std::min(scan, purge_horizon_provider_());
+  }
+  uint64_t pub = purge_published_.load(std::memory_order_seq_cst);
+  // Reclaim with min(fresh scan, previously published floor): a view the
+  // scan missed registered after the scan started and validates against
+  // `pub` (published before the scan) in EnsureView — one of the two
+  // bounds always covers every live view.
+  uint64_t min_ser = std::min(scan, pub);
+  if (scan > pub) {
+    purge_published_.store(scan, std::memory_order_seq_cst);
+  }
   trx_sys_.PurgeStates(min_ser);
   std::vector<RetiredUndo> dropped;
   {

@@ -76,11 +76,23 @@ class StorEngine {
   /// InnoDB-style read view (created lazily at first access); any other
   /// value is a CSR-selected commit-order snapshot: the engine creates the
   /// latest view and applies the Skeena watermark adjustment (Section 5).
+  /// Returns nullptr when a CSR-selected snapshot has fallen below the
+  /// undo-purge floor (the caller must re-select; Skeena retries with a
+  /// fresh snapshot).
   std::unique_ptr<StorTxn> Begin(IsolationLevel iso,
                                  Timestamp snapshot = kMaxTimestamp);
 
-  /// Replaces the transaction's view (read-committed refresh).
-  void RefreshSnapshot(StorTxn* txn, Timestamp snapshot = kMaxTimestamp);
+  /// Replaces the transaction's view (read-committed refresh). Fails with
+  /// kSkeenaAbort when a CSR-selected snapshot predates the purge floor.
+  Status RefreshSnapshot(StorTxn* txn, Timestamp snapshot = kMaxTimestamp);
+
+  /// External bound on the purge horizon (exclusive, in ser-number space):
+  /// the coordinator supplies the smallest view horizon a live cross-engine
+  /// transaction could still register, so state/undo purge never outruns a
+  /// crossing that has not materialized its read view yet.
+  void SetPurgeHorizonProvider(std::function<uint64_t()> provider) {
+    purge_horizon_provider_ = std::move(provider);
+  }
 
   Status Get(StorTxn* txn, TableId table, const Key& key, std::string* value);
   Status Put(StorTxn* txn, TableId table, const Key& key,
@@ -136,7 +148,7 @@ class StorEngine {
 
   StorTable* GetTable(TableId id) const;
   void EnsureTid(StorTxn* txn);
-  void EnsureView(StorTxn* txn);
+  Status EnsureView(StorTxn* txn);
 
   // Allocates a fresh slot for an insert.
   Rid AllocateSlot(StorTable* t);
@@ -183,6 +195,15 @@ class StorEngine {
     std::vector<std::unique_ptr<UndoRecord>> undos;
   };
   std::vector<RetiredUndo> retired_;
+
+  // Two-level undo-purge floor (same protocol as memdb's GC horizon):
+  // `purge_published_` is what cross-engine view registration validates
+  // against; the reclaim bound each round is min(fresh registry scan,
+  // previously published floor), so a view the scan missed always sees the
+  // published floor at its post-registration check — never neither.
+  std::mutex purge_mu_;
+  std::atomic<uint64_t> purge_published_{0};
+  std::function<uint64_t()> purge_horizon_provider_;
 
   std::atomic<uint64_t> commit_count_{0};
   std::atomic<uint64_t> abort_count_{0};

@@ -45,6 +45,15 @@ void TrxSys::MarkAborting(uint64_t tid) {
 void TrxSys::FinishAbort(uint64_t tid) {
   std::lock_guard<std::mutex> guard(mu_);
   active_tids_.erase(tid);
+  // Re-stamp the aborted state with the CURRENT counter as its retire
+  // bound. A reader that captured this tid from a row header before the
+  // rollback may consult the state long after — and it may hold a snapshot
+  // far NEWER than the transaction's pre-commit ser, so purging by that
+  // ser would turn the aborted write into an implicitly-committed phantom.
+  // Every such reader began before this point, so `next_tid_` is a bound
+  // its registered view keeps the purge below. (The ser of an aborted
+  // state is otherwise unused: visibility only looks at the state tag.)
+  states_.Put(tid, StateSnapshot{TxnState::kAborted, next_tid_});
 }
 
 ReadView TrxSys::CreateReadView(uint64_t own_tid) {

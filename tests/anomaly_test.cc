@@ -8,17 +8,12 @@
 #include <thread>
 
 #include "core/skeena.h"
+#include "support/db_fixtures.h"
 
 namespace skeena {
 namespace {
 
-DatabaseOptions FastOptions(bool skeena_on) {
-  DatabaseOptions opts;
-  opts.enable_skeena = skeena_on;
-  opts.mem.log.flush_interval_us = 20;
-  opts.stor.log.flush_interval_us = 20;
-  return opts;
-}
+using test::FastOptions;
 
 // ---------------------------------------------------------------------------
 // Issue 1b, Figure 2(b) "isolation failure": a cross-engine transaction T

@@ -351,6 +351,76 @@ TEST(CsrConcurrencyTest, MixedSelectCommitRecycleNoCrash) {
   SUCCEED();
 }
 
+// ------------------------------------------------- Recycling (Section 4.4)
+
+// Regression: after recycling, stale partitions are reclaimed while
+// Algorithm 1 still answers from the surviving predecessor mappings —
+// recycling must never take the skew-free candidate away from a live
+// reader.
+TEST(CsrRecycleTest, ReclaimsStalePartitionsButKeepsPredecessorMapping) {
+  // recycle_period=0: only explicit Recycle() calls, so the test controls
+  // exactly when reclamation happens.
+  SnapshotRegistry csr(SmallOptions(/*capacity=*/4, /*recycle=*/0));
+  // 40 in-order commits, 4 keys per partition -> 10 sealed-ish partitions:
+  // p0 = {10..40}, p1 = {50..80}, ..., p9 = {370..400}.
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_TRUE(csr.CommitCheck(10 * i, 100 * i).ok());
+  }
+  ASSERT_EQ(csr.PartitionCount(), 10u);
+  ASSERT_EQ(csr.EntryCount(), 40u);
+
+  // Oldest active anchor snapshot: 310 (inside p7 = {290..320}).
+  csr.SetMinAnchorProvider([] { return Timestamp{310}; });
+  csr.Recycle();
+
+  // p0..p6 are entirely below the active snapshot and must be gone; p7
+  // survives because its range still covers 310.
+  EXPECT_EQ(csr.stats().partitions_recycled, 7u);
+  EXPECT_EQ(csr.PartitionCount(), 3u);
+  EXPECT_EQ(csr.EntryCount(), 12u) << "stale mappings were not reclaimed";
+
+  // Algorithm 1 for a live reader: predecessor mapping (310 -> 3100), not
+  // the latest other-engine snapshot.
+  auto sel = csr.SelectSnapshot(315, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 3100u) << "recycling lost the skew-free predecessor";
+
+  // A snapshot below the new floor lost its partition and must abort
+  // rather than silently select a skewed candidate.
+  auto stale = csr.SelectSnapshot(250, [] { return Timestamp{9999}; });
+  EXPECT_TRUE(stale.status().IsSkeenaAbort());
+  EXPECT_GE(csr.stats().select_aborts, 1u);
+
+  // The registry keeps working after reclamation.
+  EXPECT_TRUE(csr.CommitCheck(410, 4100).ok());
+  auto fresh = csr.SelectSnapshot(410, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, 4100u);
+}
+
+// The automatic path: recycle_period expiry (every N accesses) must reclaim
+// without any explicit Recycle() call.
+TEST(CsrRecycleTest, RecyclePeriodExpiryReclaimsAutomatically) {
+  SnapshotRegistry csr(SmallOptions(/*capacity=*/4, /*recycle=*/5));
+  std::atomic<Timestamp> min_active{0};
+  csr.SetMinAnchorProvider([&] { return min_active.load(); });
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_TRUE(csr.CommitCheck(10 * i, 100 * i).ok());
+  }
+  ASSERT_EQ(csr.PartitionCount(), 10u);
+
+  // All readers move past anchor 400; the next few accesses cross the
+  // period boundary and must trigger reclamation on their own.
+  min_active.store(400);
+  for (int i = 0; i < 10; ++i) {
+    auto sel = csr.SelectSnapshot(400, [] { return Timestamp{9999}; });
+    ASSERT_TRUE(sel.ok());
+    EXPECT_EQ(*sel, 4000u);
+  }
+  EXPECT_GE(csr.stats().partitions_recycled, 8u);
+  EXPECT_LE(csr.PartitionCount(), 2u);
+}
+
 // --------------------------------------------------- Property sweep (TEST_P)
 
 class CsrCapacitySweep : public ::testing::TestWithParam<size_t> {};

@@ -1,0 +1,173 @@
+// common/encoding.h coverage: the binary-comparable Key contract. Every
+// index (B+-tree, hash, CSR) assumes byte-wise lexicographic order of the
+// encoded key equals the logical order of the fields that built it; these
+// are randomized property checks of that assumption plus round-trip and
+// payload-helper coverage.
+
+#include "common/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+
+namespace skeena {
+namespace {
+
+int KeyCompare(const Key& a, const Key& b) {
+  return std::memcmp(a.data(), b.data(), a.size());
+}
+
+int Sign(int v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+// Mix of adversarial and random values: byte-boundary neighbors are where a
+// little-endian or sign-extension bug would reorder keys.
+std::vector<uint64_t> InterestingU64s() {
+  std::vector<uint64_t> vals = {0, 1, 0x7f, 0x80, 0xff, 0x100, 0xffff,
+                                0x10000, 0x7fffffffull, 0x80000000ull,
+                                0xffffffffull, 0x100000000ull,
+                                0x7fffffffffffffffull, 0x8000000000000000ull,
+                                0xffffffffffffffffull};
+  Rng rng(1234);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = rng.Next();
+    // Bias toward small values and shared high bytes, where prefix
+    // collisions make ordering bugs visible.
+    vals.push_back(v >> rng.Uniform(64));
+  }
+  return vals;
+}
+
+TEST(EncodingTest, MakeKeyRoundTripsU64) {
+  for (uint64_t v : InterestingU64s()) {
+    EXPECT_EQ(KeyPrefixU64(MakeKey(v)), v);
+  }
+}
+
+TEST(EncodingTest, MakeKeyMemcmpOrderEqualsNumericOrder) {
+  std::vector<uint64_t> vals = InterestingU64s();
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = 0; j < vals.size(); ++j) {
+      uint64_t a = vals[i], b = vals[j];
+      int numeric = a < b ? -1 : (a > b ? 1 : 0);
+      EXPECT_EQ(Sign(KeyCompare(MakeKey(a), MakeKey(b))), numeric)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(EncodingTest, SortingKeysMatchesSortingValues) {
+  Rng rng(99);
+  std::vector<uint64_t> vals;
+  for (int i = 0; i < 2000; ++i) vals.push_back(rng.Next() >> rng.Uniform(64));
+  std::vector<Key> keys;
+  keys.reserve(vals.size());
+  for (uint64_t v : vals) keys.push_back(MakeKey(v));
+
+  std::sort(vals.begin(), vals.end());
+  std::sort(keys.begin(), keys.end(),
+            [](const Key& a, const Key& b) { return KeyCompare(a, b) < 0; });
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(KeyPrefixU64(keys[i]), vals[i]) << "rank " << i;
+  }
+}
+
+// Composite (u32, u16, u64) keys must order like the field tuple: the
+// most-significant field dominates, ties fall through to later fields.
+TEST(EncodingTest, CompositeKeyOrderEqualsTupleOrder) {
+  struct Tuple {
+    uint32_t a;
+    uint16_t b;
+    uint64_t c;
+  };
+  auto encode = [](const Tuple& t) {
+    KeyBuilder kb;
+    kb.AppendU32(t.a).AppendU16(t.b).AppendU64(t.c);
+    return kb.Build();
+  };
+  Rng rng(7);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 300; ++i) {
+    // Small per-field ranges force ties in every position.
+    tuples.push_back(Tuple{static_cast<uint32_t>(rng.Uniform(4)),
+                           static_cast<uint16_t>(rng.Uniform(3)),
+                           rng.Uniform(4)});
+  }
+  for (const Tuple& x : tuples) {
+    for (const Tuple& y : tuples) {
+      auto xt = std::make_tuple(x.a, x.b, x.c);
+      auto yt = std::make_tuple(y.a, y.b, y.c);
+      int tuple_order = xt < yt ? -1 : (yt < xt ? 1 : 0);
+      EXPECT_EQ(Sign(KeyCompare(encode(x), encode(y))), tuple_order)
+          << "(" << x.a << "," << x.b << "," << x.c << ") vs (" << y.a << ","
+          << y.b << "," << y.c << ")";
+    }
+  }
+}
+
+// A prefix-only key is the smallest key carrying that prefix, so it is a
+// correct range-scan lower bound for the prefix.
+TEST(EncodingTest, PrefixKeyIsScanLowerBound) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t table = static_cast<uint32_t>(rng.Uniform(1000));
+    KeyBuilder prefix_only;
+    prefix_only.AppendU32(table);
+    ASSERT_EQ(prefix_only.size(), 4u);
+
+    KeyBuilder full;
+    full.AppendU32(table).AppendU64(rng.Next());
+    EXPECT_TRUE(KeyHasPrefix(full.Build(), prefix_only.Build(), 4));
+    EXPECT_LE(KeyCompare(prefix_only.Build(), full.Build()), 0);
+
+    KeyBuilder next_prefix;
+    next_prefix.AppendU32(table + 1);
+    EXPECT_LT(KeyCompare(full.Build(), next_prefix.Build()), 0)
+        << "key for table " << table << " sorted past the next prefix";
+  }
+}
+
+TEST(EncodingTest, MinAndMaxKeysBracketEverything) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Key k = MakeKey(rng.Next());
+    EXPECT_LE(KeyCompare(kMinKey, k), 0);
+    EXPECT_LE(KeyCompare(k, MaxKey()), 0);
+  }
+  EXPECT_EQ(KeyPrefixU64(kMinKey), 0u);
+}
+
+TEST(EncodingTest, HashedStringsAreStableAndPrefixScannable) {
+  auto key_for = [](uint32_t table, std::string_view name) {
+    KeyBuilder kb;
+    kb.AppendU32(table).AppendHash64(name);
+    return kb.Build();
+  };
+  // Equal strings map to equal bytes (required for point lookups on
+  // hash-indexed string fields)...
+  EXPECT_EQ(KeyCompare(key_for(7, "BARBARBAR"), key_for(7, "BARBARBAR")), 0);
+  // ...and the containing prefix still routes the scan.
+  EXPECT_TRUE(KeyHasPrefix(key_for(7, "BARBARBAR"), key_for(7, "OUGHTPRES"), 4));
+  EXPECT_NE(KeyCompare(key_for(7, "BARBARBAR"), key_for(7, "OUGHTPRES")), 0);
+  EXPECT_FALSE(KeyHasPrefix(key_for(8, "BARBARBAR"), key_for(7, "BARBARBAR"), 4));
+}
+
+TEST(EncodingTest, PayloadHelpersRoundTrip) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t v64 = rng.Next();
+    uint32_t v32 = static_cast<uint32_t>(rng.Next());
+    std::string buf;
+    PutU64(&buf, v64);
+    PutU32(&buf, v32);
+    ASSERT_EQ(buf.size(), 12u);
+    EXPECT_EQ(GetU64(buf.data()), v64);
+    EXPECT_EQ(GetU32(buf.data() + 8), v32);
+  }
+}
+
+}  // namespace
+}  // namespace skeena

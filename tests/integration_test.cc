@@ -9,16 +9,12 @@
 
 #include "common/random.h"
 #include "core/skeena.h"
+#include "support/db_fixtures.h"
 
 namespace skeena {
 namespace {
 
-DatabaseOptions FastOptions() {
-  DatabaseOptions opts;
-  opts.mem.log.flush_interval_us = 20;
-  opts.stor.log.flush_interval_us = 20;
-  return opts;
-}
+using test::FastOptions;
 
 int64_t ParseBalance(const std::string& s) { return std::stoll(s); }
 

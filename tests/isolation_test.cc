@@ -4,26 +4,20 @@
 #include <gtest/gtest.h>
 
 #include "core/skeena.h"
+#include "support/db_fixtures.h"
 
 namespace skeena {
 namespace {
 
 class IsolationTest : public ::testing::Test {
  protected:
-  IsolationTest() : db_(MakeOptions()) {
+  IsolationTest() : db_(test::FastOptions()) {
     mem_ = *db_.CreateTable("m", EngineKind::kMem);
     stor_ = *db_.CreateTable("s", EngineKind::kStor);
     auto init = db_.Begin();
     EXPECT_TRUE(init->Put(mem_, MakeKey(1), "m0").ok());
     EXPECT_TRUE(init->Put(stor_, MakeKey(1), "s0").ok());
     EXPECT_TRUE(init->Commit().ok());
-  }
-
-  static DatabaseOptions MakeOptions() {
-    DatabaseOptions opts;
-    opts.mem.log.flush_interval_us = 20;
-    opts.stor.log.flush_interval_us = 20;
-    return opts;
   }
 
   void CommitBoth(const std::string& mv, const std::string& sv) {

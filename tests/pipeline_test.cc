@@ -44,13 +44,13 @@ TEST_F(PipelineTest, CompletesOnlyWhenBothLogsDurable) {
   Lsn mem_lsn = mem->engine()->log()->Append(payload);
   Lsn stor_lsn = stor->engine()->log()->Append(payload);
 
-  CommitWaiter waiter;
-  waiter.Reset();
+  auto waiter = std::make_shared<CommitWaiter>();
+  waiter->Reset();
   std::atomic<bool> done{false};
   Lsn lsns[2] = {mem_lsn, stor_lsn};
-  pipeline.Enqueue(lsns, &waiter);
+  pipeline.Enqueue(lsns, waiter);
   std::thread watcher([&] {
-    waiter.Wait();
+    waiter->Wait();
     done.store(true);
   });
 
@@ -71,9 +71,9 @@ TEST_F(PipelineTest, ZeroLsnMeansNothingToWaitFor) {
   auto mem = MakeMem(0);
   auto stor = MakeStor(0);
   CommitPipeline pipeline(CommitPipeline::Options{}, mem.get(), stor.get());
-  CommitWaiter waiter;
+  auto waiter = std::make_shared<CommitWaiter>();
   Lsn lsns[2] = {0, 0};
-  pipeline.EnqueueAndWait(lsns, &waiter);  // returns immediately
+  pipeline.EnqueueAndWait(lsns, waiter);  // returns immediately
   EXPECT_EQ(pipeline.completed(), 1u);
 }
 
@@ -87,34 +87,32 @@ TEST_F(PipelineTest, SyncModeFlushesInline) {
   uint8_t payload[8] = {};
   Lsn lsns[2] = {mem->engine()->log()->Append(payload),
                  stor->engine()->log()->Append(payload)};
-  CommitWaiter waiter;
-  pipeline.EnqueueAndWait(lsns, &waiter);
+  auto waiter = std::make_shared<CommitWaiter>();
+  pipeline.EnqueueAndWait(lsns, waiter);
   EXPECT_GE(mem->DurableLsn(), lsns[0]);
   EXPECT_GE(stor->DurableLsn(), lsns[1]);
 }
 
-TEST_F(PipelineTest, FifoCompletionWithinQueue) {
+TEST_F(PipelineTest, AllQueuedEntriesComplete) {
   auto mem = MakeMem(50);
   auto stor = MakeStor(50);
   CommitPipeline pipeline(CommitPipeline::Options{}, mem.get(), stor.get());
 
   constexpr int kEntries = 64;
-  std::vector<CommitWaiter> waiters(kEntries);
-  std::atomic<int> completed_in_order{0};
-  std::vector<std::thread> watchers;
-  std::atomic<int> next_expected{0};
+  std::vector<std::shared_ptr<CommitWaiter>> waiters;
+  for (int i = 0; i < kEntries; ++i) {
+    waiters.push_back(std::make_shared<CommitWaiter>());
+  }
   uint8_t payload[8] = {};
   for (int i = 0; i < kEntries; ++i) {
     Lsn lsns[2] = {mem->engine()->log()->Append(payload),
                    stor->engine()->log()->Append(payload)};
-    waiters[i].Reset();
-    pipeline.Enqueue(lsns, &waiters[i]);
+    waiters[i]->Reset();
+    pipeline.Enqueue(lsns, waiters[i]);
   }
   for (int i = 0; i < kEntries; ++i) {
-    waiters[i].Wait();
+    waiters[i]->Wait();
   }
-  (void)completed_in_order;
-  (void)next_expected;
   EXPECT_EQ(pipeline.completed(), static_cast<uint64_t>(kEntries));
 }
 
@@ -132,8 +130,8 @@ TEST_F(PipelineTest, PartitionedQueuesProgressIndependently) {
       for (int i = 0; i < 50; ++i) {
         Lsn lsns[2] = {mem->engine()->log()->Append(payload),
                        stor->engine()->log()->Append(payload)};
-        CommitWaiter w;
-        pipeline.EnqueueAndWait(lsns, &w, static_cast<size_t>(t));
+        auto w = std::make_shared<CommitWaiter>();
+        pipeline.EnqueueAndWait(lsns, w, static_cast<size_t>(t));
         done.fetch_add(1);
       }
     });
@@ -145,17 +143,17 @@ TEST_F(PipelineTest, PartitionedQueuesProgressIndependently) {
 TEST_F(PipelineTest, DestructorDrainsPendingEntries) {
   auto mem = MakeMem(0);
   auto stor = MakeStor(0);
-  CommitWaiter waiter;
-  waiter.Reset();
+  auto waiter = std::make_shared<CommitWaiter>();
+  waiter->Reset();
   uint8_t payload[8] = {};
   {
     CommitPipeline pipeline(CommitPipeline::Options{}, mem.get(), stor.get());
     Lsn lsns[2] = {mem->engine()->log()->Append(payload),
                    stor->engine()->log()->Append(payload)};
-    pipeline.Enqueue(lsns, &waiter);
+    pipeline.Enqueue(lsns, waiter);
     // Destroyed with the entry still gated on durability.
   }
-  waiter.Wait();  // must have been completed (with a forced flush)
+  waiter->Wait();  // must have been completed (with a forced flush)
   SUCCEED();
 }
 

@@ -5,19 +5,27 @@
 // observe equal values for the pair, and values must never move backward
 // across readers ordered by commit time. This is exactly what the
 // correctness conditions of paper Section 4.8 (DSI Rules 1-8) guarantee
-// observationally.
+// observationally. The checker itself lives in tests/support/pair_checker.h.
+//
+// The default sweep is CI-sized (short durations, trimmed parameter grid).
+// Set SKEENA_FULL_SWEEP=1 for the paper-validation run: every parameter
+// point, longer mixing time, and higher commit quotas.
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <thread>
 #include <vector>
 
-#include "common/random.h"
 #include "core/skeena.h"
+#include "support/db_fixtures.h"
+#include "support/pair_checker.h"
 
 namespace skeena {
 namespace {
+
+using test::FullSweep;
+using test::PairCheckerConfig;
+using test::PairCheckerResult;
 
 struct SweepParam {
   int writer_threads;
@@ -26,6 +34,8 @@ struct SweepParam {
   IsolationLevel iso;
   EngineKind anchor;
   size_t csr_capacity;
+  /// Parameter points marked full-only GTEST_SKIP unless SKEENA_FULL_SWEEP=1.
+  bool full_only;
 };
 
 std::string ParamName(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -47,122 +57,59 @@ class CrossEngineConsistencySweep
 
 TEST_P(CrossEngineConsistencySweep, PairsNeverTorn) {
   const SweepParam& p = GetParam();
-  DatabaseOptions opts;
+  if (p.full_only && !FullSweep()) {
+    GTEST_SKIP() << "set SKEENA_FULL_SWEEP=1 to run this parameter point";
+  }
+  DatabaseOptions opts = test::FastOptions();
   opts.anchor = p.anchor;
   opts.csr.partition_capacity = p.csr_capacity;
   opts.csr.recycle_period = 500;
-  opts.mem.log.flush_interval_us = 20;
-  opts.stor.log.flush_interval_us = 20;
   Database db(opts);
   auto mem_t = *db.CreateTable("m", EngineKind::kMem);
   auto stor_t = *db.CreateTable("s", EngineKind::kStor);
-  {
-    auto init = db.Begin();
-    for (int k = 0; k < p.num_pairs; ++k) {
-      ASSERT_TRUE(init->Put(mem_t, MakeKey(k), "0").ok());
-      ASSERT_TRUE(init->Put(stor_t, MakeKey(k), "0").ok());
-    }
-    ASSERT_TRUE(init->Commit().ok());
-  }
 
-  std::atomic<bool> stop{false};
-  std::atomic<uint64_t> torn{0};
-  std::atomic<uint64_t> regressions{0};
-  std::atomic<uint64_t> commits{0};
-  std::atomic<uint64_t> reads{0};
+  PairCheckerConfig cfg;
+  cfg.writer_threads = p.writer_threads;
+  cfg.reader_threads = p.reader_threads;
+  cfg.num_pairs = p.num_pairs;
+  cfg.iso = p.iso;
+  cfg.duration = std::chrono::milliseconds(FullSweep() ? 1500 : 250);
+  PairCheckerResult r = test::RunPairConsistency(db, mem_t, stor_t, cfg);
 
-  std::vector<std::thread> writers;
-  for (int t = 0; t < p.writer_threads; ++t) {
-    writers.emplace_back([&, t] {
-      Rng rng(t * 31 + 7);
-      while (!stop.load()) {
-        int k = static_cast<int>(rng.Uniform(p.num_pairs));
-        auto txn = db.Begin(p.iso);
-        std::string v;
-        if (!txn->Get(mem_t, MakeKey(k), &v).ok()) continue;
-        std::string next = std::to_string(std::stoll(v) + 1);
-        if (!txn->Put(mem_t, MakeKey(k), next).ok()) continue;
-        if (!txn->Put(stor_t, MakeKey(k), next).ok()) continue;
-        if (txn->Commit().ok()) commits.fetch_add(1);
-      }
-    });
-  }
+  const uint64_t quota = FullSweep() ? 20 : 5;
+  EXPECT_GT(r.commits, quota) << "no progress";
+  EXPECT_GT(r.reads, quota);
+  EXPECT_EQ(r.torn, 0u) << "snapshot saw a torn cross-engine pair: key "
+                        << r.torn_key << " mem=" << r.torn_mem
+                        << " stor=" << r.torn_stor << " (read "
+                        << (r.torn_mem_first ? "mem" : "stor") << " first)";
+  EXPECT_EQ(r.regressions, 0u) << "a reader observed state moving backward";
 
-  std::vector<std::thread> readers;
-  // Per-pair high-water marks across reads (monotonicity check).
-  std::vector<std::atomic<int64_t>> watermark(p.num_pairs);
-  for (auto& w : watermark) w.store(0);
-  for (int t = 0; t < p.reader_threads; ++t) {
-    readers.emplace_back([&, t] {
-      Rng rng(t * 17 + 3);
-      while (!stop.load()) {
-        int k = static_cast<int>(rng.Uniform(p.num_pairs));
-        auto txn = db.Begin(p.iso);
-        std::string a, b;
-        // Randomize which engine is read first (either crossing
-        // direction must be safe).
-        bool mem_first = rng.Uniform(2) == 0;
-        Status s1 = mem_first ? txn->Get(mem_t, MakeKey(k), &a)
-                              : txn->Get(stor_t, MakeKey(k), &b);
-        Status s2 = mem_first ? txn->Get(stor_t, MakeKey(k), &b)
-                              : txn->Get(mem_t, MakeKey(k), &a);
-        if (!s1.ok() || !s2.ok()) continue;
-        reads.fetch_add(1);
-        int64_t av = std::stoll(a), bv = std::stoll(b);
-        if (p.iso != IsolationLevel::kReadCommitted && av != bv) {
-          torn.fetch_add(1);
-        }
-        // Committed state never moves backward.
-        int64_t lo = std::min(av, bv);
-        int64_t prev = watermark[k].load();
-        while (lo > prev && !watermark[k].compare_exchange_weak(prev, lo)) {
-        }
-        txn->Abort();
-      }
-    });
-  }
-
-  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
-  stop.store(true);
-  for (auto& th : writers) th.join();
-  for (auto& th : readers) th.join();
-
-  EXPECT_GT(commits.load(), 20u) << "no progress";
-  EXPECT_GT(reads.load(), 20u);
-  EXPECT_EQ(torn.load(), 0u) << "snapshot saw a torn cross-engine pair";
-  EXPECT_EQ(regressions.load(), 0u);
-
-  // Final audit: all pairs equal and >= watermark.
-  auto audit = db.Begin(IsolationLevel::kSnapshot);
-  for (int k = 0; k < p.num_pairs; ++k) {
-    std::string a, b;
-    ASSERT_TRUE(audit->Get(mem_t, MakeKey(k), &a).ok());
-    ASSERT_TRUE(audit->Get(stor_t, MakeKey(k), &b).ok());
-    EXPECT_EQ(a, b) << "pair " << k;
-    EXPECT_GE(std::stoll(a), watermark[k].load()) << "pair " << k;
-  }
+  std::string error;
+  EXPECT_TRUE(test::AuditPairs(db, mem_t, stor_t, r, &error)) << error;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, CrossEngineConsistencySweep,
     ::testing::Values(
         // Baseline SI, mem anchor.
-        SweepParam{2, 2, 4, IsolationLevel::kSnapshot, EngineKind::kMem,
-                   1000},
+        SweepParam{2, 2, 4, IsolationLevel::kSnapshot, EngineKind::kMem, 1000,
+                   false},
         // High contention: single pair.
-        SweepParam{4, 2, 1, IsolationLevel::kSnapshot, EngineKind::kMem,
-                   1000},
+        SweepParam{4, 2, 1, IsolationLevel::kSnapshot, EngineKind::kMem, 1000,
+                   true},
         // Serializable.
         SweepParam{2, 2, 4, IsolationLevel::kSerializable, EngineKind::kMem,
-                   1000},
+                   1000, false},
         // Tiny CSR partitions: constant sealing + recycling under load.
-        SweepParam{4, 2, 8, IsolationLevel::kSnapshot, EngineKind::kMem, 8},
+        SweepParam{4, 2, 8, IsolationLevel::kSnapshot, EngineKind::kMem, 8,
+                   false},
         // Anchor ablation: storage engine anchors the CSR.
         SweepParam{2, 2, 4, IsolationLevel::kSnapshot, EngineKind::kStor,
-                   1000},
+                   1000, false},
         // Wider fan-out.
         SweepParam{6, 4, 16, IsolationLevel::kSnapshot, EngineKind::kMem,
-                   1000}),
+                   1000, true}),
     ParamName);
 
 // Serializable cross-engine histories must be equivalent to some serial
@@ -174,10 +121,10 @@ class SerializableSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(SerializableSweep, DisjointIncrementsAreExact) {
   int threads = GetParam();
-  DatabaseOptions opts;
-  opts.mem.log.flush_interval_us = 20;
-  opts.stor.log.flush_interval_us = 20;
-  Database db(opts);
+  if (threads > 4 && !FullSweep()) {
+    GTEST_SKIP() << "set SKEENA_FULL_SWEEP=1 to run the wide thread counts";
+  }
+  Database db(test::FastOptions());
   auto mem_t = *db.CreateTable("m", EngineKind::kMem);
   auto stor_t = *db.CreateTable("s", EngineKind::kStor);
   {
@@ -186,11 +133,11 @@ TEST_P(SerializableSweep, DisjointIncrementsAreExact) {
     ASSERT_TRUE(init->Put(stor_t, MakeKey(0), "0").ok());
     ASSERT_TRUE(init->Commit().ok());
   }
-  constexpr int kPerThread = 40;
+  const int per_thread = FullSweep() ? 40 : 12;
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
-      for (int i = 0; i < kPerThread;) {
+      for (int i = 0; i < per_thread;) {
         auto txn = db.Begin(IsolationLevel::kSerializable);
         std::string mv, sv;
         if (!txn->Get(mem_t, MakeKey(0), &mv).ok()) continue;
@@ -213,7 +160,7 @@ TEST_P(SerializableSweep, DisjointIncrementsAreExact) {
   std::string mv, sv;
   ASSERT_TRUE(reader->Get(mem_t, MakeKey(0), &mv).ok());
   ASSERT_TRUE(reader->Get(stor_t, MakeKey(0), &sv).ok());
-  EXPECT_EQ(std::stoll(mv), threads * kPerThread);
+  EXPECT_EQ(std::stoll(mv), threads * per_thread);
   EXPECT_EQ(mv, sv);
 }
 

@@ -1,0 +1,137 @@
+#include "support/pair_checker.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/random.h"
+
+namespace skeena::test {
+
+PairCheckerResult RunPairConsistency(Database& db, const TableHandle& mem_t,
+                                     const TableHandle& stor_t,
+                                     const PairCheckerConfig& cfg) {
+  {
+    auto init = db.Begin();
+    for (int k = 0; k < cfg.num_pairs; ++k) {
+      init->Put(mem_t, MakeKey(k), "0");
+      init->Put(stor_t, MakeKey(k), "0");
+    }
+    init->Commit();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::mutex torn_mu;
+  PairCheckerResult torn_sample;
+  std::atomic<uint64_t> regressions{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::atomic<int64_t>> watermark(cfg.num_pairs);
+  for (auto& w : watermark) w.store(0);
+
+  std::vector<std::thread> writers;
+  writers.reserve(cfg.writer_threads);
+  for (int t = 0; t < cfg.writer_threads; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+      while (!stop.load()) {
+        int k = static_cast<int>(rng.Uniform(cfg.num_pairs));
+        auto txn = db.Begin(cfg.iso);
+        std::string v;
+        if (!txn->Get(mem_t, MakeKey(k), &v).ok()) continue;
+        std::string next = std::to_string(std::stoll(v) + 1);
+        if (!txn->Put(mem_t, MakeKey(k), next).ok()) continue;
+        if (!txn->Put(stor_t, MakeKey(k), next).ok()) continue;
+        if (txn->Commit().ok()) commits.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  readers.reserve(cfg.reader_threads);
+  for (int t = 0; t < cfg.reader_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) * 17 + 3);
+      // Snapshots begun later by this thread cannot be older, so per-key
+      // observations within one reader must be non-decreasing.
+      std::vector<int64_t> last_seen(cfg.num_pairs, 0);
+      while (!stop.load()) {
+        int k = static_cast<int>(rng.Uniform(cfg.num_pairs));
+        auto txn = db.Begin(cfg.iso);
+        std::string a, b;
+        // Randomize which engine is read first (either crossing direction
+        // must be safe).
+        bool mem_first = rng.Uniform(2) == 0;
+        Status s1 = mem_first ? txn->Get(mem_t, MakeKey(k), &a)
+                              : txn->Get(stor_t, MakeKey(k), &b);
+        Status s2 = mem_first ? txn->Get(stor_t, MakeKey(k), &b)
+                              : txn->Get(mem_t, MakeKey(k), &a);
+        if (!s1.ok() || !s2.ok()) continue;
+        reads.fetch_add(1);
+        int64_t av = std::stoll(a), bv = std::stoll(b);
+        if (cfg.iso != IsolationLevel::kReadCommitted && av != bv) {
+          if (torn.fetch_add(1) == 0) {
+            std::lock_guard<std::mutex> lock(torn_mu);
+            torn_sample.torn_key = k;
+            torn_sample.torn_mem = av;
+            torn_sample.torn_stor = bv;
+            torn_sample.torn_mem_first = mem_first;
+          }
+        }
+        int64_t lo = std::min(av, bv);
+        if (lo < last_seen[k]) regressions.fetch_add(1);
+        last_seen[k] = std::max(last_seen[k], lo);
+        int64_t prev = watermark[k].load();
+        while (lo > prev && !watermark[k].compare_exchange_weak(prev, lo)) {
+        }
+        txn->Abort();
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(cfg.duration);
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  for (auto& th : readers) th.join();
+
+  PairCheckerResult result;
+  result.commits = commits.load();
+  result.reads = reads.load();
+  result.torn = torn.load();
+  result.regressions = regressions.load();
+  result.watermark.reserve(cfg.num_pairs);
+  for (auto& w : watermark) result.watermark.push_back(w.load());
+  result.torn_key = torn_sample.torn_key;
+  result.torn_mem = torn_sample.torn_mem;
+  result.torn_stor = torn_sample.torn_stor;
+  result.torn_mem_first = torn_sample.torn_mem_first;
+  return result;
+}
+
+bool AuditPairs(Database& db, const TableHandle& mem_t,
+                const TableHandle& stor_t, const PairCheckerResult& result,
+                std::string* error) {
+  auto audit = db.Begin(IsolationLevel::kSnapshot);
+  for (size_t k = 0; k < result.watermark.size(); ++k) {
+    std::string a, b;
+    Status sa = audit->Get(mem_t, MakeKey(k), &a);
+    Status sb = audit->Get(stor_t, MakeKey(k), &b);
+    std::ostringstream msg;
+    if (!sa.ok() || !sb.ok()) {
+      msg << "pair " << k << ": audit read failed";
+    } else if (a != b) {
+      msg << "pair " << k << ": torn at audit (" << a << " vs " << b << ")";
+    } else if (std::stoll(a) < result.watermark[k]) {
+      msg << "pair " << k << ": final value " << a << " below watermark "
+          << result.watermark[k];
+    } else {
+      continue;
+    }
+    if (error != nullptr) *error = msg.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace skeena::test

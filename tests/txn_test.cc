@@ -6,20 +6,16 @@
 #include <thread>
 
 #include "core/skeena.h"
+#include "support/db_fixtures.h"
 
 namespace skeena {
 namespace {
 
-DatabaseOptions FastOptions() {
-  DatabaseOptions opts;
-  opts.mem.log.flush_interval_us = 20;
-  opts.stor.log.flush_interval_us = 20;
-  return opts;
-}
+using test::FastOptions;
 
 class TxnTest : public ::testing::Test {
  protected:
-  TxnTest() : db_(FastOptions()) {
+  TxnTest() : db_(test::FastOptions()) {
     mem_table_ = *db_.CreateTable("mem_t", EngineKind::kMem);
     stor_table_ = *db_.CreateTable("stor_t", EngineKind::kStor);
   }
