@@ -11,13 +11,70 @@
 
 #include "bench/common/bench_harness.h"
 
+#include <atomic>
+
 namespace skeena::bench {
 namespace {
+
+/// Read-path scalability: raw SelectSnapshot throughput on a pre-populated
+/// registry, threads x hit ratio. A "hit" probes an anchor key that already
+/// carries a mapping (Algorithm 1's common case — lock-free after the RCU
+/// rewrite, zero shared writes); a "miss" selects at a fresh anchor and
+/// must install a mapping under the writer mutex. The hit-dominated cells
+/// are the ones the paper's Table 4 bet rides on: they must scale with
+/// cores instead of serializing on the old list latch.
+void RunReadPathMatrix(const BenchScale& scale,
+                       const std::shared_ptr<ResultMatrix>& matrix) {
+  static constexpr Timestamp kPrepopKeys = 500;
+  for (int hit_pct : {100, 90, 50}) {
+    std::string row = std::to_string(hit_pct) + "% hit";
+    for (int threads : {1, 2, 4, 8}) {
+      std::string cell = "AblationCsr/readpath:hit" +
+                         std::to_string(hit_pct) + "/threads" +
+                         std::to_string(threads);
+      RegisterCell(cell, [=] {
+        SnapshotRegistry::Options opts;
+        opts.partition_capacity = 1000;
+        opts.recycle_period = 0;  // isolate the read path
+        auto csr = std::make_shared<SnapshotRegistry>(opts);
+        for (Timestamp i = 1; i <= kPrepopKeys; ++i) {
+          (void)csr->CommitCheck(i * 10, i * 10);
+        }
+        auto fresh_anchor =
+            std::make_shared<std::atomic<Timestamp>>(kPrepopKeys * 10);
+        RunResult r = RunWorkload(
+            threads, scale.duration_ms,
+            [csr, fresh_anchor, hit_pct](int, Rng& rng, uint64_t* queries) {
+              (*queries)++;
+              Timestamp anchor;
+              if (static_cast<int>(rng.Uniform(100)) < hit_pct) {
+                anchor = 10 * (1 + rng.Uniform(kPrepopKeys));
+              } else {
+                anchor = fresh_anchor->fetch_add(
+                             10, std::memory_order_relaxed) +
+                         10;
+              }
+              auto sel = csr->SelectSnapshot(anchor, [fresh_anchor] {
+                return fresh_anchor->load(std::memory_order_relaxed) + 1;
+              });
+              return sel.ok() ? Status::OK() : sel.status();
+            });
+        matrix->Set(row, std::to_string(threads), r.Tps() / 1e6);
+        return r;
+      });
+    }
+  }
+}
 
 void Run() {
   BenchScale scale = BenchScale::FromEnv();
   int conns = scale.connections.back();
   MicroCache cache;
+
+  auto read_matrix = std::make_shared<ResultMatrix>(
+      "Read-path scalability: SelectSnapshot Mops/s (threads x hit ratio)",
+      "Hit ratio");
+  RunReadPathMatrix(scale, read_matrix);
 
   auto base_config = [&] {
     MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
@@ -101,6 +158,7 @@ void Run() {
   }
 
   ::benchmark::RunSpecifiedBenchmarks();
+  read_matrix->Print(2);
   cap_matrix->Print(2);
   recycle_matrix->Print(2);
   anchor_matrix->Print(0);

@@ -1,0 +1,119 @@
+#include "common/active_registry.h"
+
+#include <unordered_set>
+
+namespace skeena {
+
+namespace {
+
+// Liveness registry so thread-exit spill-back never touches a destroyed
+// registry (same pattern as EpochManager's thread slots). Touched only at
+// registry/thread birth and death — never on the Acquire/Release hot path.
+std::mutex& LiveRegistriesMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<const ActiveSnapshotRegistry*>& LiveRegistries() {
+  static auto* set = new std::unordered_set<const ActiveSnapshotRegistry*>();
+  return *set;
+}
+
+std::atomic<uint64_t> g_registry_gen{1};
+
+}  // namespace
+
+/// Per-thread slot free lists, one per (registry, generation). On thread
+/// exit — or when the per-thread entry list is pruned — cached slots are
+/// spilled back to their registry (if it is still alive), so thread churn
+/// never strands claimed slots.
+struct ThreadSlotCaches {
+  struct Entry {
+    ActiveSnapshotRegistry* registry;
+    uint64_t gen;
+    std::vector<size_t> free_slots;
+  };
+  std::vector<Entry> entries;
+
+  static constexpr size_t kMaxEntries = 64;
+
+  std::vector<size_t>& For(ActiveSnapshotRegistry* reg, uint64_t gen) {
+    for (auto& e : entries) {
+      if (e.registry == reg && e.gen == gen) return e.free_slots;
+    }
+    if (entries.size() >= kMaxEntries) Prune();
+    entries.push_back(Entry{reg, gen, {}});
+    return entries.back().free_slots;
+  }
+
+  void Prune() {
+    std::lock_guard<std::mutex> lock(LiveRegistriesMu());
+    for (auto& e : entries) {
+      if (e.free_slots.empty()) continue;
+      if (LiveRegistries().count(e.registry) != 0 &&
+          e.registry->gen_ == e.gen) {
+        e.registry->SpillSlots(std::move(e.free_slots));
+      }
+      e.free_slots.clear();
+    }
+    entries.clear();
+  }
+
+  ~ThreadSlotCaches() { Prune(); }
+};
+
+namespace {
+ThreadSlotCaches& TlsCaches() {
+  thread_local ThreadSlotCaches caches;
+  return caches;
+}
+}  // namespace
+
+ActiveSnapshotRegistry::ActiveSnapshotRegistry(size_t initial_slots)
+    : chunk_size_(initial_slots == 0 ? 1 : initial_slots),
+      gen_(g_registry_gen.fetch_add(1, std::memory_order_relaxed)) {
+  std::lock_guard<std::mutex> lock(LiveRegistriesMu());
+  LiveRegistries().insert(this);
+}
+
+ActiveSnapshotRegistry::~ActiveSnapshotRegistry() {
+  {
+    std::lock_guard<std::mutex> lock(LiveRegistriesMu());
+    LiveRegistries().erase(this);
+  }
+  for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+}
+
+size_t ActiveSnapshotRegistry::Acquire() {
+  std::vector<size_t>& cache = TlsCaches().For(this, gen_);
+  if (!cache.empty()) {
+    size_t slot = cache.back();
+    cache.pop_back();
+    return slot;
+  }
+  {
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    if (!spilled_.empty()) {
+      size_t slot = spilled_.back();
+      spilled_.pop_back();
+      return slot;
+    }
+  }
+  return ClaimSlot();
+}
+
+void ActiveSnapshotRegistry::Release(size_t slot) {
+  Clear(slot);
+  TlsCaches().For(this, gen_).push_back(slot);
+}
+
+void ActiveSnapshotRegistry::SpillSlots(std::vector<size_t>&& slots) {
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  if (spilled_.empty()) {
+    spilled_ = std::move(slots);
+  } else {
+    spilled_.insert(spilled_.end(), slots.begin(), slots.end());
+  }
+}
+
+}  // namespace skeena

@@ -2,7 +2,9 @@
 #define SKEENA_COMMON_ACTIVE_REGISTRY_H_
 
 #include <atomic>
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <vector>
 
 #include "common/spin_latch.h"
@@ -14,60 +16,83 @@ namespace skeena {
 /// (memdb version pruning, CSR partition recycling — paper Section 4.4) can
 /// compute the oldest snapshot still needed.
 ///
-/// Each worker thread claims one padded slot on first use. Registration
-/// protocol: the thread stores kAcquiringSentinel, *then* reads the engine
-/// clock, then stores the snapshot. A concurrent MinActive() that observes
-/// the sentinel may safely ignore that slot: the registrant's eventual
-/// snapshot is drawn from the clock *after* the scan began, so it can never
-/// be older than the minimum the scan computes.
+/// Registration protocol: the registrant stores kAcquiringSentinel, *then*
+/// reads the engine clock, then stores the snapshot. A concurrent
+/// MinActive() that observes the sentinel may safely ignore that slot: the
+/// registrant's eventual snapshot is drawn from the clock *after* the scan
+/// began, so it can never be older than the minimum the scan computes.
+///
+/// Slot management is latch-free on the per-transaction path:
+///  * Acquire()/Release() recycle slots through a thread-local cache (one
+///    small free list per (thread, registry)), so the steady state is a
+///    plain vector pop/push with no shared-state round-trip. Slots a thread
+///    caches stay claimed (MinActive keeps scanning them; they read as
+///    kEmpty), which keeps the scan bound at the peak transaction
+///    concurrency. A thread spills its cached slots back to the registry
+///    when it exits (liveness-checked, so registry teardown is safe), so
+///    thread churn never strands slots.
+///  * ClaimSlot() grows the slot array in chunks under a mutex (cold path:
+///    first use per thread plus growth). Unlike the previous assert — which
+///    compiled out in release builds and let slot `initial_slots` write out
+///    of bounds — exhausting the absolute capacity is a hard failure in
+///    every build type.
 class ActiveSnapshotRegistry {
  public:
   static constexpr Timestamp kEmpty = 0;
   static constexpr Timestamp kAcquiringSentinel = kMaxTimestamp;
 
-  explicit ActiveSnapshotRegistry(size_t max_slots = 1024)
-      : slots_(max_slots) {}
+  /// `initial_slots` sizes the first chunk; the registry grows chunk by
+  /// chunk up to kMaxChunks * chunk size before failing loudly.
+  explicit ActiveSnapshotRegistry(size_t initial_slots = 1024);
+  ~ActiveSnapshotRegistry();
 
-  /// Claims a slot for the calling thread (stable across calls).
+  ActiveSnapshotRegistry(const ActiveSnapshotRegistry&) = delete;
+  ActiveSnapshotRegistry& operator=(const ActiveSnapshotRegistry&) = delete;
+
+  size_t Capacity() const { return chunk_size_ * kMaxChunks; }
+
+  /// Claims a fresh slot, growing the backing store if needed. Aborts the
+  /// process (in all build types) when the absolute capacity is exhausted.
   size_t ClaimSlot() {
-    size_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
-    assert(slot < slots_.size());
+    std::lock_guard<std::mutex> lock(grow_mu_);
+    size_t slot = next_slot_.load(std::memory_order_relaxed);
+    if (slot >= Capacity()) {
+      std::fprintf(stderr,
+                   "ActiveSnapshotRegistry: slot capacity exhausted "
+                   "(%zu slots)\n",
+                   slot);
+      std::abort();
+    }
+    size_t chunk_idx = slot / chunk_size_;
+    if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[chunk_idx].store(new Padded<std::atomic<Timestamp>>[chunk_size_],
+                               std::memory_order_release);
+    }
+    // Publish the chunk before the slot count: a scanner that sees the new
+    // count also sees the chunk pointer.
+    next_slot_.store(slot + 1, std::memory_order_release);
     return slot;
   }
 
-  /// Acquires a slot from the free list (or claims a fresh one). Pair with
-  /// Release(). Used per-transaction rather than per-thread.
-  size_t Acquire() {
-    free_latch_.lock();
-    if (!free_.empty()) {
-      size_t slot = free_.back();
-      free_.pop_back();
-      free_latch_.unlock();
-      return slot;
-    }
-    free_latch_.unlock();
-    return ClaimSlot();
-  }
+  /// Acquires a slot for one transaction; pair with Release(). Steady
+  /// state is a thread-local free-list pop — no latch, no shared write.
+  /// Falls back to slots spilled by exited threads, then to ClaimSlot().
+  size_t Acquire();
 
-  void Release(size_t slot) {
-    Clear(slot);
-    free_latch_.lock();
-    free_.push_back(slot);
-    free_latch_.unlock();
-  }
+  void Release(size_t slot);
 
   /// Marks the slot as "snapshot being acquired". Must be followed by
   /// SetSnapshot() or Clear().
   void BeginAcquire(size_t slot) {
-    slots_[slot].value.store(kAcquiringSentinel, std::memory_order_seq_cst);
+    SlotRef(slot).store(kAcquiringSentinel, std::memory_order_seq_cst);
   }
 
   void SetSnapshot(size_t slot, Timestamp snap) {
-    slots_[slot].value.store(snap, std::memory_order_seq_cst);
+    SlotRef(slot).store(snap, std::memory_order_seq_cst);
   }
 
   void Clear(size_t slot) {
-    slots_[slot].value.store(kEmpty, std::memory_order_release);
+    SlotRef(slot).store(kEmpty, std::memory_order_release);
   }
 
   /// Oldest snapshot of any registered transaction, or `fallback` when none
@@ -75,9 +100,14 @@ class ActiveSnapshotRegistry {
   Timestamp MinActive(Timestamp fallback) const {
     Timestamp min = kMaxTimestamp;
     size_t limit = next_slot_.load(std::memory_order_acquire);
-    if (limit > slots_.size()) limit = slots_.size();
+    const Padded<std::atomic<Timestamp>>* chunk = nullptr;
+    size_t chunk_idx = ~size_t{0};
     for (size_t i = 0; i < limit; ++i) {
-      Timestamp v = slots_[i].value.load(std::memory_order_seq_cst);
+      if (i / chunk_size_ != chunk_idx) {
+        chunk_idx = i / chunk_size_;
+        chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
+      }
+      Timestamp v = chunk[i % chunk_size_].value.load(std::memory_order_seq_cst);
       if (v == kEmpty || v == kAcquiringSentinel) continue;
       if (v < min) min = v;
     }
@@ -85,10 +115,30 @@ class ActiveSnapshotRegistry {
   }
 
  private:
-  std::vector<Padded<std::atomic<Timestamp>>> slots_;
+  friend struct ThreadSlotCaches;
+
+  static constexpr size_t kMaxChunks = 64;
+
+  // Returns cached slots of an exiting (or evicted) thread to the shared
+  // spill list so they can be re-acquired by other threads.
+  void SpillSlots(std::vector<size_t>&& slots);
+
+  std::atomic<Timestamp>& SlotRef(size_t slot) const {
+    auto* chunk = chunks_[slot / chunk_size_].load(std::memory_order_acquire);
+    return chunk[slot % chunk_size_].value;
+  }
+
+  const size_t chunk_size_;
+  // Generation id distinguishes this registry from a destroyed one reusing
+  // the same address, so stale thread-local caches never cross registries.
+  const uint64_t gen_;
+  std::atomic<Padded<std::atomic<Timestamp>>*> chunks_[kMaxChunks] = {};
   std::atomic<size_t> next_slot_{0};
-  SpinLatch free_latch_;
-  std::vector<size_t> free_;
+  std::mutex grow_mu_;
+
+  // Slots handed back by exited threads; consulted before claiming fresh.
+  std::mutex spill_mu_;
+  std::vector<size_t> spilled_;
 };
 
 }  // namespace skeena

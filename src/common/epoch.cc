@@ -1,0 +1,224 @@
+#include "common/epoch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace skeena {
+
+namespace {
+
+// Liveness registry so thread-exit cleanup never touches a destroyed
+// manager. Touched only at manager/thread birth and death — never on the
+// Enter/Exit hot path.
+std::mutex& LiveManagersMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<const EpochManager*>& LiveManagers() {
+  static auto* set = new std::unordered_set<const EpochManager*>();
+  return *set;
+}
+
+std::atomic<uint64_t> g_manager_gen{1};
+
+}  // namespace
+
+/// Per-thread view of one manager: the claimed slot and the guard nesting
+/// depth. Depth is thread-private; only the outermost Enter/Exit publishes
+/// to the shared slot.
+struct ThreadEpochState {
+  struct Entry {
+    EpochManager* mgr;
+    uint64_t gen;
+    size_t slot;
+    uint32_t depth;
+  };
+  std::vector<Entry> entries;
+
+  Entry* Find(EpochManager* mgr, uint64_t gen) {
+    for (auto& e : entries) {
+      if (e.mgr == mgr && e.gen == gen) return &e;
+    }
+    return nullptr;
+  }
+
+  ~ThreadEpochState() {
+    std::lock_guard<std::mutex> lock(LiveManagersMu());
+    for (auto& e : entries) {
+      // Both checks matter: the address may have been reused by a younger
+      // manager (same pointer, different gen), whose slots we must not
+      // touch.
+      if (LiveManagers().count(e.mgr) != 0 && e.mgr->gen_ == e.gen) {
+        e.mgr->ReleaseSlot(e.slot);
+      }
+    }
+  }
+
+  // Caps the per-thread entry list: a thread that churns through managers
+  // (each standalone SnapshotRegistry owns one) would otherwise grow it —
+  // and Enter()'s linear scan — without bound. Entries inside a guard
+  // (depth > 0) are always kept; idle entries hand their slot back.
+  void Prune() {
+    std::lock_guard<std::mutex> lock(LiveManagersMu());
+    size_t kept = 0;
+    for (auto& e : entries) {
+      if (e.depth > 0) {
+        entries[kept++] = e;
+        continue;
+      }
+      if (LiveManagers().count(e.mgr) != 0 && e.mgr->gen_ == e.gen) {
+        e.mgr->ReleaseSlot(e.slot);
+      }
+    }
+    entries.resize(kept);
+  }
+};
+
+namespace {
+ThreadEpochState& TlsState() {
+  thread_local ThreadEpochState state;
+  return state;
+}
+}  // namespace
+
+EpochManager::EpochManager() : gen_(g_manager_gen.fetch_add(1)) {
+  std::lock_guard<std::mutex> lock(LiveManagersMu());
+  LiveManagers().insert(this);
+}
+
+EpochManager::~EpochManager() {
+  {
+    std::lock_guard<std::mutex> lock(LiveManagersMu());
+    LiveManagers().erase(this);
+  }
+  // Contract: no reader is pinned anymore, so everything in limbo is
+  // unreachable and can be freed immediately.
+  for (const LimboEntry& e : limbo_) e.deleter(e.ptr);
+  freed_count_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+  for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t>& EpochManager::SlotState(size_t slot) const {
+  Slot* chunk = chunks_[slot / kSlotsPerChunk].load(std::memory_order_acquire);
+  return chunk[slot % kSlotsPerChunk].value;
+}
+
+size_t EpochManager::AcquireSlot() {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  if (!free_slots_.empty()) {
+    size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  size_t slot = slot_limit_.load(std::memory_order_relaxed);
+  if (slot >= kSlotsPerChunk * kMaxChunks) {
+    std::fprintf(stderr,
+                 "EpochManager: thread slot capacity exhausted (%zu)\n", slot);
+    std::abort();
+  }
+  size_t chunk_idx = slot / kSlotsPerChunk;
+  if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+    chunks_[chunk_idx].store(new Slot[kSlotsPerChunk],
+                             std::memory_order_release);
+  }
+  // Publish the chunk before the limit so scanners that see the new limit
+  // also see the chunk pointer.
+  slot_limit_.store(slot + 1, std::memory_order_release);
+  return slot;
+}
+
+void EpochManager::ReleaseSlot(size_t slot) {
+  SlotState(slot).store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  free_slots_.push_back(slot);
+}
+
+void EpochManager::Enter() {
+  ThreadEpochState& tls = TlsState();
+  ThreadEpochState::Entry* e = tls.Find(this, gen_);
+  if (e == nullptr) {
+    constexpr size_t kMaxIdleEntries = 64;
+    if (tls.entries.size() >= kMaxIdleEntries) tls.Prune();
+    tls.entries.push_back({this, gen_, AcquireSlot(), 0});
+    e = &tls.entries.back();
+  }
+  if (e->depth++ != 0) return;  // nested guard: already pinned
+  std::atomic<uint64_t>& slot = SlotState(e->slot);
+  // Pin, then re-check the global epoch: if it moved between the load and
+  // the store we would otherwise stay pinned to a stale epoch and stall
+  // advancing for as long as the guard lives.
+  uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+  slot.store(g * 2 + 1, std::memory_order_seq_cst);
+  while (true) {
+    uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == g) break;
+    g = now;
+    slot.store(g * 2 + 1, std::memory_order_seq_cst);
+  }
+}
+
+void EpochManager::Exit() {
+  ThreadEpochState::Entry* e = TlsState().Find(this, gen_);
+  if (e == nullptr || e->depth == 0) return;  // unmatched Exit: ignore
+  if (--e->depth == 0) {
+    SlotState(e->slot).store(0, std::memory_order_release);
+  }
+}
+
+void EpochManager::RetireRaw(void* p, void (*deleter)(void*)) {
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back({e, p, deleter});
+  }
+  TryAdvance();
+}
+
+size_t EpochManager::TryAdvance() {
+  std::unique_lock<std::mutex> adv(advance_mu_, std::try_to_lock);
+  if (!adv.owns_lock()) return 0;
+
+  uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+  bool all_observed = true;
+  size_t limit = slot_limit_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < limit; ++i) {
+    uint64_t s = SlotState(i).load(std::memory_order_seq_cst);
+    if ((s & 1) != 0 && s / 2 != g) {
+      all_observed = false;
+      break;
+    }
+  }
+  if (all_observed) {
+    global_epoch_.store(g + 1, std::memory_order_seq_cst);
+    g = g + 1;
+  }
+
+  // Free limbo entries two epochs behind: every reader pinned when they
+  // were retired has since exited (the epoch advanced twice, and each
+  // advance required all pinned readers to be current).
+  std::vector<LimboEntry> ripe;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    size_t kept = 0;
+    for (LimboEntry& e : limbo_) {
+      if (e.epoch + 2 <= g) {
+        ripe.push_back(e);
+      } else {
+        limbo_[kept++] = e;
+      }
+    }
+    limbo_.resize(kept);
+  }
+  for (const LimboEntry& e : ripe) e.deleter(e.ptr);
+  freed_count_.fetch_add(ripe.size(), std::memory_order_relaxed);
+  return ripe.size();
+}
+
+size_t EpochManager::RetiredCount() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace skeena

@@ -1,0 +1,127 @@
+#ifndef SKEENA_COMMON_EPOCH_H_
+#define SKEENA_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/spin_latch.h"
+
+namespace skeena {
+
+/// Epoch-based memory reclamation (EBR, after Fraser) for read-mostly
+/// structures published RCU-style: readers pin the current epoch for the
+/// duration of a critical section (EpochGuard) and traverse shared objects
+/// through atomic pointers without taking any lock; writers unlink an object
+/// from the live structure, then Retire() it. A retired object is freed only
+/// after the global epoch has advanced twice past its retire epoch, which
+/// implies every reader that could still hold a reference has exited its
+/// critical section.
+///
+/// Design:
+///  * Three-phase global epoch counter. Each thread owns one cache-line-
+///    padded slot per manager; a pinned slot stores `epoch * 2 + 1`, a
+///    quiescent one stores 0. Guards nest (the nesting depth lives in
+///    thread-local state, only the outermost Enter/Exit touches the slot).
+///  * TryAdvance() bumps the global epoch when every pinned slot has
+///    observed it, then frees limbo entries older than two epochs. It is
+///    called opportunistically from Retire(); callers may also drive it
+///    directly (tests, shutdown).
+///  * Thread slots are claimed on a thread's first Enter() against a
+///    manager and handed back when the thread exits (a thread-local
+///    registration cache releases slots of still-live managers), so thread
+///    churn does not leak slots.
+///
+/// Destruction contract: no thread may be inside an EpochGuard of this
+/// manager when it is destroyed; the destructor then frees every remaining
+/// limbo entry unconditionally.
+class EpochManager {
+ public:
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Pins the calling thread to the current epoch. Nests; prefer EpochGuard.
+  void Enter();
+  void Exit();
+
+  /// Defers `delete p` until no pinned reader can still reference it.
+  template <typename T>
+  void Retire(T* p) {
+    RetireRaw(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+  void RetireRaw(void* p, void (*deleter)(void*));
+
+  /// Attempts one epoch advance and frees everything whose grace period has
+  /// passed. Returns the number of objects freed. Non-blocking: returns 0
+  /// if another thread is already advancing.
+  size_t TryAdvance();
+
+  uint64_t GlobalEpoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Objects retired but not yet freed (test/diagnostic hook).
+  size_t RetiredCount() const;
+  /// Objects freed over the manager's lifetime (test/diagnostic hook).
+  uint64_t FreedCount() const {
+    return freed_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend struct ThreadEpochState;
+
+  // Slot states: 0 = quiescent, otherwise epoch * 2 + 1 (pinned).
+  using Slot = Padded<std::atomic<uint64_t>>;
+
+  static constexpr size_t kSlotsPerChunk = 128;
+  static constexpr size_t kMaxChunks = 64;
+
+  struct LimboEntry {
+    uint64_t epoch;
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  // Thread-facing registration (called via thread-local state).
+  size_t AcquireSlot();
+  void ReleaseSlot(size_t slot);
+  std::atomic<uint64_t>& SlotState(size_t slot) const;
+
+  const uint64_t gen_;  // process-unique id for thread-local caches
+
+  std::atomic<uint64_t> global_epoch_{1};
+
+  // Slot storage grows in chunks so the pinned-slot scan stays lock-free.
+  std::atomic<Slot*> chunks_[kMaxChunks] = {};
+  std::atomic<size_t> slot_limit_{0};  // slots with a published chunk
+  std::mutex slots_mu_;                // guards claim/release + growth
+  std::vector<size_t> free_slots_;
+
+  std::mutex advance_mu_;  // one advancing thread at a time
+
+  mutable std::mutex limbo_mu_;
+  std::vector<LimboEntry> limbo_;
+  std::atomic<uint64_t> freed_count_{0};
+};
+
+/// RAII pin on an EpochManager. Nestable and re-entrant per thread.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& mgr) : mgr_(&mgr) { mgr_->Enter(); }
+  ~EpochGuard() { mgr_->Exit(); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* mgr_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_EPOCH_H_

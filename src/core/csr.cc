@@ -1,53 +1,103 @@
 #include "core/csr.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace skeena {
 
-namespace {
-constexpr size_t kNpos = ~size_t{0};
-constexpr int kMaxRetries = 16;
-
-// Comparator for entries by key only.
-struct KeyLess {
-  template <typename Entry>
-  bool operator()(const Entry& a, Timestamp key) const {
-    return a.key < key;
+SnapshotRegistry::SnapshotRegistry(Options options, EpochManager* epoch)
+    : options_(options) {
+  if (options_.partition_capacity == 0) options_.partition_capacity = 1;
+  if (epoch == nullptr) {
+    owned_epoch_ = std::make_unique<EpochManager>();
+    epoch_ = owned_epoch_.get();
+  } else {
+    epoch_ = epoch;
   }
-  template <typename Entry>
-  bool operator()(Timestamp key, const Entry& a) const {
-    return key < a.key;
-  }
-};
-}  // namespace
-
-SnapshotRegistry::SnapshotRegistry(Options options) : options_(options) {}
-
-SnapshotRegistry::~SnapshotRegistry() = default;
-
-size_t SnapshotRegistry::LocatePartition(Timestamp snap) const {
-  // Entries in the list are sorted by min_key; search backward for the
-  // first partition whose range starts at or below `snap` (Section 4.3).
-  if (partitions_.empty()) return kNpos;
-  if (snap < floor_) return kNpos;  // its partition was recycled
-  for (size_t i = partitions_.size(); i-- > 0;) {
-    if (partitions_[i]->min_key <= snap) return i;
-  }
-  // Older than the first-ever mapping but nothing recycled beneath it: the
-  // first partition's range extends down to the floor.
-  return 0;
+  list_.store(new PartitionList(), std::memory_order_release);
 }
 
-SnapshotRegistry::MapResult SnapshotRegistry::MapLocked(size_t idx,
-                                                        Timestamp key,
-                                                        Timestamp value) {
-  Partition& p = *partitions_[idx];
-  bool is_last = idx + 1 == partitions_.size();
-  auto it = std::lower_bound(p.entries.begin(), p.entries.end(), key,
-                             KeyLess{});
-  if (it != p.entries.end() && it->key == key) {
-    if (value >= it->vmin && value <= it->vmax) {
+SnapshotRegistry::~SnapshotRegistry() {
+  // Retired lists/partitions live in the epoch manager's limbo and are
+  // freed by it; only the currently-published list is still ours.
+  PartitionList* list = list_.load(std::memory_order_relaxed);
+  for (Partition* p : list->parts) delete p;
+  delete list;
+}
+
+size_t SnapshotRegistry::LocatePartition(const PartitionList& list,
+                                         Timestamp snap) {
+  if (list.parts.empty()) return kNpos;
+  if (snap < list.floor) return kNpos;  // its partition was recycled
+  // Last partition whose range starts at or below `snap` (Section 4.3);
+  // binary search on min_key — this runs on every CSR access.
+  auto it = std::upper_bound(
+      list.parts.begin(), list.parts.end(), snap,
+      [](Timestamp s, const Partition* p) { return s < p->min_key; });
+  if (it == list.parts.begin()) {
+    // Older than the first-ever mapping but nothing recycled beneath it:
+    // the first partition's range extends down to the floor.
+    return 0;
+  }
+  return static_cast<size_t>(it - list.parts.begin()) - 1;
+}
+
+size_t SnapshotRegistry::LowerBound(const Partition& p, size_t n,
+                                    Timestamp key) {
+  const Entry* first = p.entries.get();
+  return static_cast<size_t>(
+      std::lower_bound(first, first + n, key,
+                       [](const Entry& e, Timestamp k) { return e.key < k; }) -
+      first);
+}
+
+size_t SnapshotRegistry::UpperBound(const Partition& p, size_t n,
+                                    Timestamp key) {
+  const Entry* first = p.entries.get();
+  return static_cast<size_t>(
+      std::upper_bound(first, first + n, key,
+                       [](Timestamp k, const Entry& e) { return k < e.key; }) -
+      first);
+}
+
+void SnapshotRegistry::PublishLocked(PartitionList* next) {
+  PartitionList* old = list_.exchange(next, std::memory_order_acq_rel);
+  epoch_->Retire(old);
+}
+
+void SnapshotRegistry::AppendPartitionLocked(Timestamp key, Timestamp value) {
+  PartitionList* list = list_.load(std::memory_order_relaxed);
+  auto* np = new Partition(key, options_.partition_capacity);
+  np->entries[0].key = key;
+  np->entries[0].vmin.store(value, std::memory_order_relaxed);
+  np->entries[0].vmax.store(value, std::memory_order_relaxed);
+  np->count.store(1, std::memory_order_relaxed);
+  auto* nl = new PartitionList{list->floor, list->parts};
+  nl->parts.push_back(np);
+  // Partitions are published with their first entry already in place —
+  // readers never observe an empty partition.
+  PublishLocked(nl);
+  partitions_created_.Add(1);
+}
+
+SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
+                                                            Timestamp value) {
+  PartitionList* list = list_.load(std::memory_order_relaxed);
+  if (list->parts.empty()) {
+    AppendPartitionLocked(key, value);
+    return MapResult::kOk;
+  }
+  size_t idx = LocatePartition(*list, key);
+  if (idx == kNpos) return MapResult::kSealed;  // recycled range
+  Partition* p = list->parts[idx];
+  bool is_last = idx + 1 == list->parts.size();
+  size_t n = p->count.load(std::memory_order_relaxed);
+  size_t lb = LowerBound(*p, n, key);
+
+  if (lb < n && p->entries[lb].key == key) {
+    Entry& e = p->entries[lb];
+    Timestamp vmin = e.vmin.load(std::memory_order_relaxed);
+    Timestamp vmax = e.vmax.load(std::memory_order_relaxed);
+    if (value >= vmin && value <= vmax) {
       return MapResult::kOk;  // already covered by the interval
     }
     if (!is_last) {
@@ -55,128 +105,174 @@ SnapshotRegistry::MapResult SnapshotRegistry::MapLocked(size_t idx,
       // immutable.
       return MapResult::kSealed;
     }
-    it->vmin = std::min(it->vmin, value);
-    it->vmax = std::max(it->vmax, value);
+    // In-place single-word widen; concurrent readers see either bound.
+    if (value < vmin) e.vmin.store(value, std::memory_order_relaxed);
+    if (value > vmax) e.vmax.store(value, std::memory_order_relaxed);
     return MapResult::kOk;
   }
   if (!is_last) return MapResult::kSealed;
-  if (!PartitionFull(p)) {
-    p.entries.insert(it, Entry{key, value, value});
-    if (key < p.min_key) p.min_key = key;
+
+  if (n < p->capacity) {
+    if (lb == n) {
+      // In-order append (the common case): initialize the entry, then
+      // release-publish the count — readers acquire the count and only
+      // search the published prefix.
+      Entry& e = p->entries[n];
+      e.key = key;
+      e.vmin.store(value, std::memory_order_relaxed);
+      e.vmax.store(value, std::memory_order_relaxed);
+      p->count.store(n + 1, std::memory_order_release);
+      return MapResult::kOk;
+    }
+    // Out-of-order insert into the open partition (rare: a committer whose
+    // anchor cts raced behind already-installed ones): copy-on-write the
+    // partition and swap the list, retiring the old copy via the epoch
+    // manager so lock-free readers drain off it safely.
+    auto* np = new Partition(std::min(p->min_key, key), p->capacity);
+    for (size_t i = 0; i < lb; ++i) {
+      np->entries[i].key = p->entries[i].key;
+      np->entries[i].vmin.store(p->entries[i].vmin.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+      np->entries[i].vmax.store(p->entries[i].vmax.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    }
+    np->entries[lb].key = key;
+    np->entries[lb].vmin.store(value, std::memory_order_relaxed);
+    np->entries[lb].vmax.store(value, std::memory_order_relaxed);
+    for (size_t i = lb; i < n; ++i) {
+      np->entries[i + 1].key = p->entries[i].key;
+      np->entries[i + 1].vmin.store(
+          p->entries[i].vmin.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      np->entries[i + 1].vmax.store(
+          p->entries[i].vmax.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    np->count.store(n + 1, std::memory_order_relaxed);  // published via swap
+    auto* nl = new PartitionList{list->floor, list->parts};
+    nl->parts[idx] = np;
+    PublishLocked(nl);
+    epoch_->Retire(p);
     return MapResult::kOk;
   }
   // The open partition is full: a fresh key beyond its range moves to a new
   // partition; anything inside its range can no longer be mapped.
-  if (key > p.entries.back().key) return MapResult::kNeedNewPartition;
+  if (key > p->entries[n - 1].key) {
+    AppendPartitionLocked(key, value);
+    return MapResult::kOk;
+  }
   return MapResult::kSealed;
-}
-
-void SnapshotRegistry::CreatePartition(Timestamp min_key) {
-  std::unique_lock<std::shared_mutex> list(list_mu_);
-  if (partitions_.empty()) {
-    auto p = std::make_unique<Partition>();
-    p->min_key = min_key;
-    partitions_.push_back(std::move(p));
-    partitions_created_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  Partition* last = partitions_.back().get();
-  std::lock_guard<std::mutex> pl(last->mu);
-  // Re-check under the exclusive latch: another thread may have created the
-  // partition already, or the open partition may have room after all.
-  if (!PartitionFull(*last) || min_key <= last->entries.back().key) {
-    return;  // retry will re-locate
-  }
-  auto p = std::make_unique<Partition>();
-  p->min_key = min_key;
-  partitions_.push_back(std::move(p));
-  partitions_created_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Result<Timestamp> SnapshotRegistry::SelectSnapshot(
     Timestamp anchor_snap, const std::function<Timestamp()>& latest_other) {
   TickAccess();
-  for (int retry = 0; retry < kMaxRetries; ++retry) {
-    bool need_partition = false;
-    {
-      std::shared_lock<std::shared_mutex> list(list_mu_);
-      if (partitions_.empty()) {
-        need_partition = true;
-      } else {
-        size_t idx = LocatePartition(anchor_snap);
-        if (idx == kNpos) {
-          // The partition that covered this (old) snapshot was recycled.
-          select_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort("anchor snapshot predates CSR");
-        }
-        Partition& p = *partitions_[idx];
-        bool is_last = idx + 1 == partitions_.size();
-        std::unique_lock<std::mutex> pl;
-        if (is_last) pl = std::unique_lock<std::mutex>(p.mu);
+  EpochGuard guard(*epoch_);
 
-        auto it = std::upper_bound(p.entries.begin(), p.entries.end(),
-                                   anchor_snap, KeyLess{});
-        Timestamp selected;
-        bool have_pred = it != p.entries.begin();
-        if (have_pred) {
-          // Algorithm 1 line 9: latest snapshot mapped to a key <= ours.
-          selected = std::prev(it)->vmax;
-        } else {
-          // No candidate: use the latest other-engine snapshot (Algorithm 1
-          // line 6) — but stay strictly below any mapping made at a *newer*
-          // anchor position: if that successor is a commit, reading at or
-          // past its other-engine timestamp would show us a transaction
-          // whose anchor effects are ahead of our snapshot (DSI Rule 8 /
-          // the Figure 2(a) skew). The successor's smallest value is the
-          // binding one. Successor mappings only exist here in the rare
-          // window where this partition was just created.
-          selected = latest_other();
-          if (it != p.entries.end()) {
-            selected = std::min(selected, it->vmin - 1);
-          } else if (idx + 1 < partitions_.size()) {
-            Partition& succ = *partitions_[idx + 1];
-            bool succ_last = idx + 2 == partitions_.size();
-            std::unique_lock<std::mutex> sl;
-            if (succ_last) sl = std::unique_lock<std::mutex>(succ.mu);
-            if (!succ.entries.empty()) {
-              selected = std::min(selected, succ.entries.front().vmin - 1);
-            }
-          }
-        }
+  // ---- Lock-free fast path: Algorithm 1's hit case. The mapping is
+  // already recorded (exact key) or implied (sealed predecessor): no
+  // mutex, no shared write — only the epoch pin and sharded stats.
+  const PartitionList* list = list_.load(std::memory_order_acquire);
+  if (!list->parts.empty()) {
+    size_t idx = LocatePartition(*list, anchor_snap);
+    if (idx == kNpos) {
+      // The partition that covered this (old) snapshot was recycled.
+      select_aborts_.Add(1);
+      return Status::SkeenaAbort("anchor snapshot predates CSR");
+    }
+    const Partition* p = list->parts[idx];
+    bool is_last = idx + 1 == list->parts.size();
+    size_t n = p->count.load(std::memory_order_acquire);
+    size_t ub = UpperBound(*p, n, anchor_snap);
+    if (ub > 0) {
+      const Entry& pred = p->entries[ub - 1];
+      if (pred.key == anchor_snap || !is_last) {
+        // Exact key: the interval at our snapshot already covers the
+        // selection (Algorithm 1 line 9). Sealed partition: immutable, so
+        // no commit can ever land between the predecessor and our snapshot
+        // — the mapping Algorithm 1 line 10 would insert is already
+        // implied. This is how inactive indexes "continue to serve
+        // existing transactions for snapshot selection" (Section 4.3).
+        mappings_.Add(1);
+        return pred.vmax.load(std::memory_order_acquire);
+      }
+    } else if (!is_last) {
+      // Without a predecessor the selection would need a new mapping that
+      // can never land in a sealed partition: abort.
+      sealed_aborts_.Add(1);
+      select_aborts_.Add(1);
+      return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+    }
+  }
 
-        if (!is_last) {
-          // Sealed partitions are immutable, so no commit can ever land
-          // between our predecessor and our snapshot — the mapping that
-          // Algorithm 1 line 10 would insert is already implied. This is
-          // how inactive indexes "continue to serve existing transactions
-          // for snapshot selection" (Section 4.3). Without a predecessor
-          // the selection would need a new mapping: abort.
-          if (have_pred) {
-            mappings_.fetch_add(1, std::memory_order_relaxed);
-            return selected;
-          }
-          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
-          select_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort("mapping lands in sealed CSR partition");
-        }
+  // ---- Miss: a new mapping must be installed.
+  return SelectSlow(anchor_snap, latest_other);
+}
 
-        MapResult r = MapLocked(idx, anchor_snap, selected);
-        if (r == MapResult::kOk) {
-          mappings_.fetch_add(1, std::memory_order_relaxed);
-          return selected;
-        }
-        if (r == MapResult::kSealed) {
-          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
-          select_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort("mapping lands in sealed CSR partition");
-        }
-        need_partition = true;
+Result<Timestamp> SnapshotRegistry::SelectSlow(
+    Timestamp anchor_snap, const std::function<Timestamp()>& latest_other) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  PartitionList* list = list_.load(std::memory_order_relaxed);
+  if (list->parts.empty()) {
+    Timestamp selected = latest_other();
+    AppendPartitionLocked(anchor_snap, selected);
+    mappings_.Add(1);
+    return selected;
+  }
+  size_t idx = LocatePartition(*list, anchor_snap);
+  if (idx == kNpos) {
+    select_aborts_.Add(1);
+    return Status::SkeenaAbort("anchor snapshot predates CSR");
+  }
+  Partition* p = list->parts[idx];
+  bool is_last = idx + 1 == list->parts.size();
+  size_t n = p->count.load(std::memory_order_relaxed);
+  size_t ub = UpperBound(*p, n, anchor_snap);
+  bool have_pred = ub > 0;
+  Timestamp selected;
+  if (have_pred) {
+    // Algorithm 1 line 9: latest snapshot mapped to a key <= ours.
+    selected = p->entries[ub - 1].vmax.load(std::memory_order_relaxed);
+  } else {
+    // No candidate: use the latest other-engine snapshot (Algorithm 1
+    // line 6) — but stay strictly below any mapping made at a *newer*
+    // anchor position: if that successor is a commit, reading at or past
+    // its other-engine timestamp would show us a transaction whose anchor
+    // effects are ahead of our snapshot (DSI Rule 8 / the Figure 2(a)
+    // skew). The successor's smallest value is the binding one.
+    selected = latest_other();
+    if (ub < n) {
+      selected = std::min(
+          selected, p->entries[ub].vmin.load(std::memory_order_relaxed) - 1);
+    } else if (idx + 1 < list->parts.size()) {
+      const Partition* succ = list->parts[idx + 1];
+      size_t sn = succ->count.load(std::memory_order_relaxed);
+      if (sn > 0) {
+        selected = std::min(
+            selected,
+            succ->entries[0].vmin.load(std::memory_order_relaxed) - 1);
       }
     }
-    if (need_partition) CreatePartition(anchor_snap);
   }
-  select_aborts_.fetch_add(1, std::memory_order_relaxed);
-  return Status::SkeenaAbort("CSR retry limit exceeded");
+  if (!is_last) {
+    if (have_pred) {
+      // Raced with a partition spawn since the lock-free attempt: the
+      // sealed predecessor still implies the mapping.
+      mappings_.Add(1);
+      return selected;
+    }
+    sealed_aborts_.Add(1);
+    select_aborts_.Add(1);
+    return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+  }
+  MapResult r = InstallLocked(anchor_snap, selected);
+  if (r == MapResult::kOk) {
+    mappings_.Add(1);
+    return selected;
+  }
+  sealed_aborts_.Add(1);
+  select_aborts_.Add(1);
+  return Status::SkeenaAbort("mapping lands in sealed CSR partition");
 }
 
 Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
@@ -184,166 +280,167 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
                                      bool anchor_engine_wrote,
                                      bool other_engine_wrote) {
   TickAccess();
-  for (int retry = 0; retry < kMaxRetries; ++retry) {
-    bool need_partition = false;
-    {
-      std::shared_lock<std::shared_mutex> list(list_mu_);
-      if (partitions_.empty()) {
-        need_partition = true;
-      } else {
-        size_t idx = LocatePartition(anchor_cts);
-        if (idx == kNpos) {
-          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
-          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort("anchor commit predates CSR");
-        }
-        Partition& p = *partitions_[idx];
-        bool is_last = idx + 1 == partitions_.size();
-        std::unique_lock<std::mutex> pl;
-        if (is_last) pl = std::unique_lock<std::mutex>(p.mu);
-
-        // Algorithm 2: bounds from strict neighbors. Entries at exactly
-        // anchor_cts are begin-timestamp ties (allowed, Rule 4) and do not
-        // constrain.
-        Timestamp low = 0;
-        Timestamp high = kMaxTimestamp;
-        auto it = std::lower_bound(p.entries.begin(), p.entries.end(),
-                                   anchor_cts, KeyLess{});
-        // Same-key entry: a reader at exactly our anchor commit timestamp
-        // sees our anchor writes; if we really wrote in both engines, every
-        // other-engine view registered at this key must already cover our
-        // other-engine commit — the SMALLEST registered view is the binding
-        // one.
-        if (anchor_engine_wrote && other_engine_wrote &&
-            it != p.entries.end() && it->key == anchor_cts &&
-            it->vmin < other_cts) {
-          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort(
-              "commit check failed: reader tie at anchor commit");
-        }
-        if (it != p.entries.begin()) {
-          low = std::prev(it)->vmax;
-        } else if (idx > 0) {
-          // Boundary hardening: the true predecessor lives in the previous
-          // (sealed, immutable) partition.
-          const Partition& pred = *partitions_[idx - 1];
-          if (!pred.entries.empty()) low = pred.entries.back().vmax;
-        }
-        auto succ = it;
-        if (succ != p.entries.end() && succ->key == anchor_cts) ++succ;
-        if (succ != p.entries.end()) {
-          high = succ->vmin;
-        } else if (idx + 1 < partitions_.size()) {
-          Partition& nextp = *partitions_[idx + 1];
-          bool next_last = idx + 2 == partitions_.size();
-          std::unique_lock<std::mutex> nl;
-          if (next_last) nl = std::unique_lock<std::mutex>(nextp.mu);
-          if (!nextp.entries.empty()) high = nextp.entries.front().vmin;
-        }
-
-        bool low_violated =
-            other_engine_wrote ? other_cts <= low : other_cts < low;
-        if ((low != 0 && low_violated) || other_cts > high) {
-          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort("commit check failed");
-        }
-
-        MapResult r = MapLocked(idx, anchor_cts, other_cts);
-        if (r == MapResult::kOk) {
-          mappings_.fetch_add(1, std::memory_order_relaxed);
-          return Status::OK();
-        }
-        if (r == MapResult::kSealed) {
-          sealed_aborts_.fetch_add(1, std::memory_order_relaxed);
-          commit_aborts_.fetch_add(1, std::memory_order_relaxed);
-          return Status::SkeenaAbort("mapping lands in sealed CSR partition");
-        }
-        need_partition = true;
-      }
-    }
-    if (need_partition) CreatePartition(anchor_cts);
+  EpochGuard guard(*epoch_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  PartitionList* list = list_.load(std::memory_order_relaxed);
+  if (list->parts.empty()) {
+    // First mapping ever: bounds are trivially open.
+    AppendPartitionLocked(anchor_cts, other_cts);
+    mappings_.Add(1);
+    return Status::OK();
   }
-  commit_aborts_.fetch_add(1, std::memory_order_relaxed);
-  return Status::SkeenaAbort("CSR retry limit exceeded");
+  size_t idx = LocatePartition(*list, anchor_cts);
+  if (idx == kNpos) {
+    sealed_aborts_.Add(1);
+    commit_aborts_.Add(1);
+    return Status::SkeenaAbort("anchor commit predates CSR");
+  }
+  const Partition* p = list->parts[idx];
+  size_t n = p->count.load(std::memory_order_relaxed);
+
+  // Algorithm 2: bounds from strict neighbors. Entries at exactly
+  // anchor_cts are begin-timestamp ties (allowed, Rule 4) and do not
+  // constrain.
+  Timestamp low = 0;
+  Timestamp high = kMaxTimestamp;
+  size_t lb = LowerBound(*p, n, anchor_cts);
+  // Same-key entry: a reader at exactly our anchor commit timestamp sees
+  // our anchor writes; if we really wrote in both engines, every
+  // other-engine view registered at this key must already cover our
+  // other-engine commit — the SMALLEST registered view is the binding one.
+  if (anchor_engine_wrote && other_engine_wrote && lb < n &&
+      p->entries[lb].key == anchor_cts &&
+      p->entries[lb].vmin.load(std::memory_order_relaxed) < other_cts) {
+    commit_aborts_.Add(1);
+    return Status::SkeenaAbort(
+        "commit check failed: reader tie at anchor commit");
+  }
+  if (lb > 0) {
+    low = p->entries[lb - 1].vmax.load(std::memory_order_relaxed);
+  } else if (idx > 0) {
+    // Boundary hardening: the true predecessor lives in the previous
+    // (sealed, immutable) partition.
+    const Partition* pred = list->parts[idx - 1];
+    size_t pn = pred->count.load(std::memory_order_relaxed);
+    if (pn > 0) {
+      low = pred->entries[pn - 1].vmax.load(std::memory_order_relaxed);
+    }
+  }
+  size_t succ = lb;
+  if (succ < n && p->entries[succ].key == anchor_cts) ++succ;
+  if (succ < n) {
+    high = p->entries[succ].vmin.load(std::memory_order_relaxed);
+  } else if (idx + 1 < list->parts.size()) {
+    const Partition* nextp = list->parts[idx + 1];
+    size_t nn = nextp->count.load(std::memory_order_relaxed);
+    if (nn > 0) high = nextp->entries[0].vmin.load(std::memory_order_relaxed);
+  }
+
+  bool low_violated =
+      other_engine_wrote ? other_cts <= low : other_cts < low;
+  if ((low != 0 && low_violated) || other_cts > high) {
+    commit_aborts_.Add(1);
+    return Status::SkeenaAbort("commit check failed");
+  }
+
+  MapResult r = InstallLocked(anchor_cts, other_cts);
+  if (r == MapResult::kOk) {
+    mappings_.Add(1);
+    return Status::OK();
+  }
+  sealed_aborts_.Add(1);
+  commit_aborts_.Add(1);
+  return Status::SkeenaAbort("mapping lands in sealed CSR partition");
 }
 
 void SnapshotRegistry::Recycle() {
   if (!min_anchor_provider_) return;
   Timestamp min_snap = min_anchor_provider_();
-  std::unique_lock<std::shared_mutex> list(list_mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  RecycleLocked(min_snap);
+}
+
+void SnapshotRegistry::RecycleLocked(Timestamp min_snap) {
+  PartitionList* list = list_.load(std::memory_order_relaxed);
   size_t drop = 0;
   // A partition covers [min_key, next.min_key); it is stale once the next
   // partition's range already starts at or below the oldest active anchor
   // snapshot. The open (last) partition is never dropped.
-  while (drop + 1 < partitions_.size() &&
-         partitions_[drop + 1]->min_key <= min_snap) {
+  while (drop + 1 < list->parts.size() &&
+         list->parts[drop + 1]->min_key <= min_snap) {
     drop++;
   }
-  if (drop > 0) {
-    partitions_.erase(partitions_.begin(),
-                      partitions_.begin() + static_cast<long>(drop));
-    partitions_recycled_.fetch_add(drop, std::memory_order_relaxed);
-    floor_ = partitions_.front()->min_key;
-  }
+  if (drop == 0) return;
+  auto* nl = new PartitionList();
+  nl->parts.assign(list->parts.begin() + static_cast<long>(drop),
+                   list->parts.end());
+  nl->floor = nl->parts.front()->min_key;
+  // Readers may still be walking the dropped partitions through an older
+  // list snapshot; retire instead of freeing under a latch.
+  for (size_t i = 0; i < drop; ++i) epoch_->Retire(list->parts[i]);
+  PublishLocked(nl);
+  partitions_recycled_.Add(drop);
 }
 
 Timestamp SnapshotRegistry::MinSelectableValue(Timestamp anchor_snap) const {
-  std::shared_lock<std::shared_mutex> list(list_mu_);
-  if (partitions_.empty()) return kMaxTimestamp;
-  size_t idx = LocatePartition(anchor_snap);
+  EpochGuard guard(*epoch_);
+  const PartitionList* list = list_.load(std::memory_order_acquire);
+  if (list->parts.empty()) return kMaxTimestamp;
+  size_t idx = LocatePartition(*list, anchor_snap);
   // Anchors below the floor abort at selection; they constrain nothing.
   if (idx == kNpos) return kMaxTimestamp;
   // Find the nearest mapping at a key <= anchor_snap, walking across
   // partition boundaries (the true predecessor may live in an older,
   // sealed partition).
   for (size_t i = idx + 1; i-- > 0;) {
-    Partition& p = *partitions_[i];
-    bool is_last = i + 1 == partitions_.size();
-    std::unique_lock<std::mutex> pl;
-    if (is_last) pl = std::unique_lock<std::mutex>(p.mu);
-    auto it = std::upper_bound(p.entries.begin(), p.entries.end(),
-                               anchor_snap, KeyLess{});
-    if (it != p.entries.begin()) return std::prev(it)->vmax;
+    const Partition* p = list->parts[i];
+    size_t n = p->count.load(std::memory_order_acquire);
+    size_t ub = UpperBound(*p, n, anchor_snap);
+    if (ub > 0) {
+      return p->entries[ub - 1].vmax.load(std::memory_order_acquire);
+    }
   }
   return kMaxTimestamp;
 }
 
 void SnapshotRegistry::TickAccess() {
-  uint64_t a = accesses_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (options_.recycle_period != 0 && a % options_.recycle_period == 0) {
-    Recycle();
+  uint64_t c = accesses_.Increment();
+  if (options_.recycle_period == 0 || c % options_.recycle_period != 0) {
+    return;
   }
+  if (!min_anchor_provider_) return;
+  Timestamp min_snap = min_anchor_provider_();
+  // Opportunistic: never block the access that happened to cross the
+  // period boundary — skip if a writer or another recycler is active.
+  std::unique_lock<std::mutex> lock(write_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  RecycleLocked(min_snap);
 }
 
 size_t SnapshotRegistry::PartitionCount() const {
-  std::shared_lock<std::shared_mutex> list(list_mu_);
-  return partitions_.size();
+  EpochGuard guard(*epoch_);
+  return list_.load(std::memory_order_acquire)->parts.size();
 }
 
 size_t SnapshotRegistry::EntryCount() const {
-  std::shared_lock<std::shared_mutex> list(list_mu_);
+  EpochGuard guard(*epoch_);
+  const PartitionList* list = list_.load(std::memory_order_acquire);
   size_t n = 0;
-  for (const auto& p : partitions_) {
-    if (p.get() == partitions_.back().get()) {
-      std::lock_guard<std::mutex> pl(p->mu);
-      n += p->entries.size();
-    } else {
-      n += p->entries.size();
-    }
+  for (const Partition* p : list->parts) {
+    n += p->count.load(std::memory_order_acquire);
   }
   return n;
 }
 
 SnapshotRegistry::Stats SnapshotRegistry::stats() const {
   Stats s;
-  s.accesses = accesses_.load(std::memory_order_relaxed);
-  s.mappings = mappings_.load(std::memory_order_relaxed);
-  s.select_aborts = select_aborts_.load(std::memory_order_relaxed);
-  s.commit_aborts = commit_aborts_.load(std::memory_order_relaxed);
-  s.sealed_aborts = sealed_aborts_.load(std::memory_order_relaxed);
-  s.partitions_created = partitions_created_.load(std::memory_order_relaxed);
-  s.partitions_recycled =
-      partitions_recycled_.load(std::memory_order_relaxed);
+  s.accesses = accesses_.Read();
+  s.mappings = mappings_.Read();
+  s.select_aborts = select_aborts_.Read();
+  s.commit_aborts = commit_aborts_.Read();
+  s.sealed_aborts = sealed_aborts_.Read();
+  s.partitions_created = partitions_created_.Read();
+  s.partitions_recycled = partitions_recycled_.Read();
   return s;
 }
 

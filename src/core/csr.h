@@ -6,9 +6,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/epoch.h"
+#include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -40,16 +41,28 @@ namespace skeena {
 ///    sealed partition aborts the transaction (rare, quantified in
 ///    Section 6.9). Recycling drops whole partitions older than the oldest
 ///    active anchor snapshot.
-///  * Concurrency: reader-writer latch on the partition list, a mutex per
-///    partition (Section 4.4) — cheap relative to the slow engine's storage
-///    stack, which is the fast-slow bet the paper makes.
+///  * Concurrency (see DESIGN.md "Concurrency model"): the read path is
+///    lock-free. The partition list is an immutable snapshot array behind
+///    an atomic pointer, swapped RCU-style and reclaimed through an
+///    EpochManager; sealed partitions are immutable sorted arrays; the
+///    open partition publishes appended entries with a release store of
+///    its entry count (out-of-order inserts copy-on-write the partition).
+///    SelectSnapshot's hit case (an already-recorded or implied mapping —
+///    Algorithm 1's common case) and MinSelectableValue therefore run with
+///    zero shared writes. Mutations (mapping installs, partition creation,
+///    recycling) serialize on one writer mutex — exactly the operations
+///    whose cost the paper's fast-slow bet already amortizes against the
+///    slow engine's storage stack.
 class SnapshotRegistry {
  public:
   struct Options {
     /// Keys per partition ("1000 entries per index" in Section 6.5).
     size_t partition_capacity = 1000;
     /// Attempt recycling every N CSR accesses ("once per 5000 accesses",
-    /// Section 4.4). 0 disables automatic recycling.
+    /// Section 4.4). 0 disables automatic recycling. Accesses are counted
+    /// per thread (sharded), so the trigger fires on each thread's own
+    /// access count — the aggregate cadence matches the paper's within a
+    /// factor of the thread count.
     uint64_t recycle_period = 5000;
   };
 
@@ -63,7 +76,10 @@ class SnapshotRegistry {
     uint64_t partitions_recycled = 0;
   };
 
-  explicit SnapshotRegistry(Options options);
+  /// `epoch` is the reclamation domain for retired partition lists; pass
+  /// the database-owned manager. When null (standalone use, tests) the
+  /// registry owns a private one.
+  explicit SnapshotRegistry(Options options, EpochManager* epoch = nullptr);
   ~SnapshotRegistry();
 
   SnapshotRegistry(const SnapshotRegistry&) = delete;
@@ -107,7 +123,8 @@ class SnapshotRegistry {
   }
 
   /// Drops fully-stale partitions now (also runs automatically every
-  /// recycle_period accesses).
+  /// recycle_period accesses). Dropped partitions are retired through the
+  /// epoch manager, never freed under a latch a reader could race.
   void Recycle();
 
   /// The smallest other-engine snapshot SelectSnapshot could still hand to
@@ -117,64 +134,109 @@ class SnapshotRegistry {
   /// the selection (the fallback then uses the live engine clock). Engine
   /// GC uses this to avoid reclaiming versions a live anchor snapshot may
   /// still cross into (the engine-side analogue of Section 4.4 recycling).
+  /// Lock-free: reads the published list under epoch protection.
   Timestamp MinSelectableValue(Timestamp anchor_snap) const;
 
   size_t PartitionCount() const;
   size_t EntryCount() const;
   Stats stats() const;
 
+  EpochManager& epoch() { return *epoch_; }
+
  private:
   struct Entry {
-    Timestamp key;   // anchor-engine snapshot
-    Timestamp vmin;  // smallest other-engine snapshot mapped to the key
-    Timestamp vmax;  // largest other-engine snapshot mapped to the key
+    Timestamp key;  // anchor-engine snapshot; immutable once published
+    // [vmin, vmax] interval of the other-engine snapshots mapped to the
+    // key. Widened in place (single-word atomic stores) by the serialized
+    // writer; read lock-free.
+    std::atomic<Timestamp> vmin;
+    std::atomic<Timestamp> vmax;
   };
 
+  /// A partition owns a fixed-capacity sorted entry array. Sealed
+  /// partitions are fully immutable. The open (last) partition appends by
+  /// writing entries[count] and release-publishing the new count; readers
+  /// acquire-load the count and search only the published prefix.
+  /// Out-of-order inserts (rare) replace the partition copy-on-write.
   struct Partition {
-    Timestamp min_key;  // first key mapped into this partition
-    std::mutex mu;
-    // Sorted by key; unique keys; per-key [vmin, vmax] interval of the
-    // other-engine snapshots mapped to that key.
-    std::vector<Entry> entries;
+    Partition(Timestamp min_key_arg, size_t capacity_arg)
+        : min_key(min_key_arg),
+          capacity(capacity_arg),
+          entries(new Entry[capacity_arg]) {}
+
+    // First key covered. Immutable per partition object: an insert below
+    // every existing key (possible only in partition 0, above the floor)
+    // goes through the copy-on-write path, whose replacement carries the
+    // lowered min_key — so the published list is always sorted and
+    // location searches need no atomics here.
+    const Timestamp min_key;
+    const size_t capacity;
+    std::atomic<size_t> count{0};
+    std::unique_ptr<Entry[]> entries;
   };
 
-  enum class MapResult { kOk, kNeedNewPartition, kSealed };
+  /// The RCU-published snapshot of the partition list. Immutable; writers
+  /// build a new one and swap the pointer, retiring the old through the
+  /// epoch manager. Partitions are shared across successive lists and are
+  /// retired exactly once: when a writer drops them from the newest list
+  /// (copy-on-write replacement or recycling).
+  struct PartitionList {
+    // Smallest anchor snapshot still covered: recycling raises it;
+    // snapshots below it abort (their partitions are gone).
+    Timestamp floor = 0;
+    std::vector<Partition*> parts;
+  };
+
+  enum class MapResult { kOk, kSealed };
+
+  static constexpr size_t kNpos = ~size_t{0};
 
   // Locates the partition covering `snap` (last partition whose min_key <=
-  // snap). Caller holds list_mu_ (shared or exclusive). Returns index or
-  // npos.
-  size_t LocatePartition(Timestamp snap) const;
+  // snap; binary search). Returns kNpos only when `snap` predates the
+  // recycling floor.
+  static size_t LocatePartition(const PartitionList& list, Timestamp snap);
 
-  bool PartitionFull(const Partition& p) const {
-    return p.entries.size() >= options_.partition_capacity;
-  }
+  // First published index in `p` with key >= / > `key`.
+  static size_t LowerBound(const Partition& p, size_t n, Timestamp key);
+  static size_t UpperBound(const Partition& p, size_t n, Timestamp key);
 
-  // Inserts/updates (key, value) in partition `idx`. Caller holds the list
-  // latch (shared) and the partition mutex.
-  MapResult MapLocked(size_t idx, Timestamp key, Timestamp value);
+  // Installs (key, value) into the list (append, interval widen, COW
+  // insert, or new-partition spawn). Caller holds write_mu_.
+  MapResult InstallLocked(Timestamp key, Timestamp value);
 
-  // Creates a new open partition starting at `min_key` (takes the list
-  // latch in exclusive mode internally).
-  void CreatePartition(Timestamp min_key);
+  // Appends a fresh partition seeded with (key, value). Caller holds
+  // write_mu_.
+  void AppendPartitionLocked(Timestamp key, Timestamp value);
 
+  // Swaps in `next` and retires the previous list. Caller holds write_mu_.
+  void PublishLocked(PartitionList* next);
+
+  // Slow path of SelectSnapshot: a new mapping (or first partition) is
+  // required.
+  Result<Timestamp> SelectSlow(Timestamp anchor_snap,
+                               const std::function<Timestamp()>& latest_other);
+
+  void RecycleLocked(Timestamp min_snap);
   void TickAccess();
 
   Options options_;
   std::function<Timestamp()> min_anchor_provider_;
 
-  mutable std::shared_mutex list_mu_;
-  std::vector<std::unique_ptr<Partition>> partitions_;
-  // Smallest anchor snapshot still covered: recycling raises it; snapshots
-  // below it abort (their partitions are gone).
-  Timestamp floor_ = 0;
+  std::unique_ptr<EpochManager> owned_epoch_;
+  EpochManager* epoch_;
 
-  std::atomic<uint64_t> accesses_{0};
-  std::atomic<uint64_t> mappings_{0};
-  std::atomic<uint64_t> select_aborts_{0};
-  std::atomic<uint64_t> commit_aborts_{0};
-  std::atomic<uint64_t> sealed_aborts_{0};
-  std::atomic<uint64_t> partitions_created_{0};
-  std::atomic<uint64_t> partitions_recycled_{0};
+  // Serializes all mutations (mapping installs, partition creation,
+  // recycling). Readers never take it.
+  std::mutex write_mu_;
+  std::atomic<PartitionList*> list_;
+
+  ShardedCounter accesses_;
+  ShardedCounter mappings_;
+  ShardedCounter select_aborts_;
+  ShardedCounter commit_aborts_;
+  ShardedCounter sealed_aborts_;
+  ShardedCounter partitions_created_;
+  ShardedCounter partitions_recycled_;
 };
 
 }  // namespace skeena

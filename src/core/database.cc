@@ -28,7 +28,7 @@ std::unique_ptr<StorageDevice> MakeDevice(const std::string& data_dir,
 }  // namespace
 
 Database::Database(DatabaseOptions options)
-    : options_(std::move(options)), csr_(options_.csr) {
+    : options_(std::move(options)), csr_(options_.csr, &epoch_) {
   // Table-space devices for stordb.
   if (!options_.data_dir.empty() && !options_.stor.device_factory) {
     std::string dir = options_.data_dir;
@@ -63,6 +63,9 @@ Database::Database(DatabaseOptions options)
   };
   csr_.SetMinAnchorProvider(min_anchor);
   auto min_other = [this, min_anchor] {
+    // Pin one epoch across both reads so the CSR list snapshot the floor
+    // is computed from cannot be reclaimed mid-computation.
+    EpochGuard guard(epoch_);
     Timestamp v = csr_.MinSelectableValue(min_anchor());
     return v;  // kMaxTimestamp = unconstrained (fallback uses live clock)
   };

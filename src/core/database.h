@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/active_registry.h"
+#include "common/epoch.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/adapters.h"
@@ -99,6 +100,7 @@ class Database {
   SnapshotRegistry& csr() { return csr_; }
   ActiveSnapshotRegistry& anchor_registry() { return anchor_registry_; }
   CommitPipeline& pipeline() { return *pipeline_; }
+  EpochManager& epoch() { return epoch_; }
 
   GlobalTxnId NextGtid() {
     return next_gtid_.fetch_add(1, std::memory_order_relaxed);
@@ -124,6 +126,10 @@ class Database {
   EngineIface* engines_[kNumEngines];
   int anchor_index_;
 
+  // Reclamation domain for the CSR's RCU-published partition lists (and
+  // any future epoch-protected structure). Declared before csr_ so the
+  // registry is destroyed first and the manager then drains its limbo.
+  EpochManager epoch_;
   SnapshotRegistry csr_;
   ActiveSnapshotRegistry anchor_registry_;
   std::unique_ptr<CommitPipeline> pipeline_;

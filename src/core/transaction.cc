@@ -22,7 +22,9 @@ void Transaction::ReleaseAnchorSlot() {
 Status Transaction::EnsureAnchorSnapshot() {
   if (anchor_snap_ != kInvalidTimestamp) return Status::OK();
   // Register before reading the anchor clock so CSR recycling never drops
-  // the partition this snapshot lands in (Section 4.4).
+  // the partition this snapshot lands in (Section 4.4). Acquire() reuses
+  // the calling thread's cached slot, so this is latch-free in steady
+  // state — no shared-state round-trip per transaction.
   anchor_slot_ = db_->anchor_registry().Acquire();
   db_->anchor_registry().BeginAcquire(anchor_slot_);
   anchor_snap_ = db_->engine(db_->anchor_index())->LatestSnapshot();

@@ -305,8 +305,7 @@ Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
 
   txn->state_ = MemTxn::State::kCommitted;
   active_.Release(txn->registry_slot());
-  commit_count_.fetch_add(1, std::memory_order_relaxed);
-  MaybeAdvanceGcHorizon();
+  MaybeAdvanceGcHorizon(commit_count_.Increment());
   return lsn;
 }
 
@@ -318,7 +317,7 @@ void MemEngine::Abort(MemTxn* txn) {
   UnlatchWriteSet(txn);
   txn->state_ = MemTxn::State::kAborted;
   active_.Release(txn->registry_slot());
-  abort_count_.fetch_add(1, std::memory_order_relaxed);
+  abort_count_.Add(1);
 }
 
 void MemEngine::PruneVersions(Version* new_head, Timestamp horizon) {
@@ -336,12 +335,14 @@ void MemEngine::PruneVersions(Version* new_head, Timestamp horizon) {
     garbage = next;
     n++;
   }
-  if (n > 0) pruned_count_.fetch_add(n, std::memory_order_relaxed);
+  if (n > 0) pruned_count_.Add(n);
 }
 
-void MemEngine::MaybeAdvanceGcHorizon() {
-  uint64_t c = commit_count_.load(std::memory_order_relaxed);
-  if (options_.gc_interval == 0 || c % options_.gc_interval != 0) return;
+void MemEngine::MaybeAdvanceGcHorizon(uint64_t thread_commits) {
+  if (options_.gc_interval == 0 ||
+      thread_commits % options_.gc_interval != 0) {
+    return;
+  }
   std::unique_lock<std::mutex> lock(gc_mu_, std::try_to_lock);
   if (!lock.owns_lock()) return;  // another committer is advancing
   Timestamp m = MinActiveSnapshot();
@@ -362,9 +363,9 @@ void MemEngine::MaybeAdvanceGcHorizon() {
 
 MemEngine::Stats MemEngine::stats() const {
   Stats s;
-  s.commits = commit_count_.load(std::memory_order_relaxed);
-  s.aborts = abort_count_.load(std::memory_order_relaxed);
-  s.versions_pruned = pruned_count_.load(std::memory_order_relaxed);
+  s.commits = commit_count_.Read();
+  s.aborts = abort_count_.Read();
+  s.versions_pruned = pruned_count_.Read();
   return s;
 }
 

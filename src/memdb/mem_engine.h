@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/active_registry.h"
+#include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "log/log_manager.h"
@@ -137,7 +138,10 @@ class MemEngine {
   void LatchWriteSet(MemTxn* txn);
   void UnlatchWriteSet(MemTxn* txn);
   void PruneVersions(Version* new_head, Timestamp horizon);
-  void MaybeAdvanceGcHorizon();
+  // `thread_commits` is the committing thread's shard-local commit count,
+  // used as the periodic trigger clock (every gc_interval commits by a
+  // thread) without folding the sharded counter on the hot path.
+  void MaybeAdvanceGcHorizon(uint64_t thread_commits);
 
   Options options_;
   std::unique_ptr<LogManager> log_;
@@ -154,9 +158,11 @@ class MemEngine {
   std::atomic<Timestamp> gc_published_{1};
   std::mutex gc_mu_;
   std::function<Timestamp()> gc_horizon_provider_;
-  std::atomic<uint64_t> commit_count_{0};
-  std::atomic<uint64_t> abort_count_{0};
-  std::atomic<uint64_t> pruned_count_{0};
+  // Hot-path counters are sharded so committing threads never contend on
+  // a stats cache line.
+  ShardedCounter commit_count_;
+  ShardedCounter abort_count_;
+  ShardedCounter pruned_count_;
 
   mutable std::mutex tables_mu_;
   std::vector<std::unique_ptr<MemTable>> tables_;

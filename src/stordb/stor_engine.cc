@@ -413,8 +413,7 @@ Lsn StorEngine::PostCommit(StorTxn* txn, GlobalTxnId gtid, bool cross_engine) {
   }
   txn->state_ = StorTxn::State::kCommitted;
   FinishTxn(txn);
-  commit_count_.fetch_add(1, std::memory_order_relaxed);
-  MaybePurge();
+  MaybePurge(commit_count_.Increment());
   return lsn;
 }
 
@@ -430,7 +429,7 @@ void StorEngine::Abort(StorTxn* txn) {
   }
   txn->state_ = StorTxn::State::kAborted;
   FinishTxn(txn);
-  abort_count_.fetch_add(1, std::memory_order_relaxed);
+  abort_count_.Add(1);
 }
 
 void StorEngine::Rollback(StorTxn* txn) {
@@ -487,9 +486,11 @@ void StorEngine::RetireUndos(StorTxn* txn) {
   retired_.push_back(RetiredUndo{ser, std::move(txn->undos_)});
 }
 
-void StorEngine::MaybePurge() {
-  uint64_t c = commit_count_.load(std::memory_order_relaxed);
-  if (options_.purge_interval == 0 || c % options_.purge_interval != 0) return;
+void StorEngine::MaybePurge(uint64_t thread_commits) {
+  if (options_.purge_interval == 0 ||
+      thread_commits % options_.purge_interval != 0) {
+    return;
+  }
   std::unique_lock<std::mutex> purge_lock(purge_mu_, std::try_to_lock);
   if (!purge_lock.owns_lock()) return;  // another committer is purging
   uint64_t scan = trx_sys_.MinActiveViewSer();
@@ -518,16 +519,16 @@ void StorEngine::MaybePurge() {
     retired_.erase(it, retired_.end());
   }
   for (const auto& d : dropped) {
-    undo_purged_.fetch_add(d.undos.size(), std::memory_order_relaxed);
+    undo_purged_.Add(d.undos.size());
   }
   // `dropped` destructs outside the mutex.
 }
 
 StorEngine::Stats StorEngine::stats() const {
   Stats s;
-  s.commits = commit_count_.load(std::memory_order_relaxed);
-  s.aborts = abort_count_.load(std::memory_order_relaxed);
-  s.undo_purged = undo_purged_.load(std::memory_order_relaxed);
+  s.commits = commit_count_.Read();
+  s.aborts = abort_count_.Read();
+  s.undo_purged = undo_purged_.Read();
   s.pool_hit_ratio = pool_->HitRatio();
   return s;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "index/btree.h"
@@ -173,7 +174,9 @@ class StorEngine {
   void Rollback(StorTxn* txn);
   void FinishTxn(StorTxn* txn);
   void RetireUndos(StorTxn* txn);
-  void MaybePurge();
+  // `thread_commits` is the committing thread's shard-local commit count
+  // (the purge_interval trigger clock).
+  void MaybePurge(uint64_t thread_commits);
 
   // Row write used by recovery (no locks, single-threaded).
   Status RecoveryApply(StorTable* t, const Key& key, const std::string& value,
@@ -205,9 +208,12 @@ class StorEngine {
   std::atomic<uint64_t> purge_published_{0};
   std::function<uint64_t()> purge_horizon_provider_;
 
-  std::atomic<uint64_t> commit_count_{0};
-  std::atomic<uint64_t> abort_count_{0};
-  std::atomic<uint64_t> undo_purged_{0};
+  // Hot-path counters are sharded so committing threads never contend on
+  // a stats cache line; MaybePurge triggers off the committing thread's
+  // shard-local count instead of a folded total.
+  ShardedCounter commit_count_;
+  ShardedCounter abort_count_;
+  ShardedCounter undo_purged_;
 };
 
 }  // namespace skeena::stordb

@@ -233,6 +233,67 @@ TEST(ActiveRegistryTest, SlotsRecycledThroughFreeList) {
   EXPECT_LE(seen.size(), 2u);
 }
 
+// Regression: slot claims past the initial capacity used to be guarded by
+// an assert() only — compiled out in release builds, slot 1025 of a
+// 1024-slot registry silently wrote out of bounds. The registry now grows
+// chunk by chunk and MinActive scans across chunk boundaries.
+TEST(ActiveRegistryTest, GrowsBeyondInitialCapacity) {
+  ActiveSnapshotRegistry reg(4);  // chunk size 4
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < 100; ++i) {
+    size_t s = reg.ClaimSlot();
+    EXPECT_EQ(s, i);
+    slots.push_back(s);
+    reg.BeginAcquire(s);
+    reg.SetSnapshot(s, 1000 + static_cast<Timestamp>(i));
+  }
+  // The oldest snapshot lives in the first chunk, the scan must cross all
+  // allocated chunks to find it.
+  EXPECT_EQ(reg.MinActive(1), 1000u);
+  reg.SetSnapshot(slots[77], 7);  // chunk 19
+  EXPECT_EQ(reg.MinActive(1), 7u);
+  for (size_t s : slots) reg.Clear(s);
+  EXPECT_EQ(reg.MinActive(42), 42u);
+}
+
+TEST(ActiveRegistryTest, ConcurrentGrowthWithScans) {
+  ActiveSnapshotRegistry reg(2);  // force chunk growth under contention
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> claimers;
+  for (int t = 0; t < 4; ++t) {
+    claimers.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        size_t s = reg.ClaimSlot();
+        reg.BeginAcquire(s);
+        reg.SetSnapshot(s, 100 + static_cast<Timestamp>(t));
+      }
+    });
+  }
+  std::thread scanner([&] {
+    while (!stop.load()) {
+      Timestamp m = reg.MinActive(5000);
+      EXPECT_GE(m, 100u);
+    }
+  });
+  for (auto& th : claimers) th.join();
+  stop.store(true);
+  scanner.join();
+  EXPECT_EQ(reg.MinActive(5000), 100u);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(ActiveRegistryDeathTest, ExhaustingAbsoluteCapacityFailsLoudly) {
+  // Capacity = chunk size * 64 chunks; the claim past it must abort with a
+  // diagnostic in every build type instead of writing out of bounds.
+  EXPECT_DEATH(
+      {
+        ActiveSnapshotRegistry reg(1);
+        for (int i = 0; i < 70; ++i) reg.ClaimSlot();
+      },
+      "slot capacity exhausted");
+}
+#endif
+
 TEST(ActiveRegistryTest, ConcurrentChurn) {
   ActiveSnapshotRegistry reg(256);
   std::atomic<bool> stop{false};

@@ -351,6 +351,117 @@ TEST(CsrConcurrencyTest, MixedSelectCommitRecycleNoCrash) {
   SUCCEED();
 }
 
+// The TSan proof of the RCU rewrite: lock-free readers race committers and
+// an explicit recycler, and every successful hit-path selection must return
+// exactly the other-engine timestamp its committer published. Committers
+// hand accepted (anchor, other) pairs to readers through a release/acquire
+// ring, so a reader's CSR view is always at least as new as the pair it
+// probes; unique anchor keys make the expected selection exact.
+TEST(CsrConcurrencyTest, LockFreeReadersSeeExactPublishedMappings) {
+  SnapshotRegistry::Options opts;
+  opts.partition_capacity = 64;
+  opts.recycle_period = 0;  // reclamation driven by a dedicated thread
+  SnapshotRegistry csr(opts);
+
+  std::atomic<Timestamp> anchor_clock{1};
+  std::atomic<Timestamp> other_clock{1};
+  std::atomic<Timestamp> min_active{0};
+  csr.SetMinAnchorProvider([&] { return min_active.load(); });
+
+  constexpr size_t kRing = 1024;
+  // (anchor << 32) | other; 0 = not yet published.
+  static_assert(sizeof(uint64_t) == 8);
+  std::vector<std::atomic<uint64_t>> ring(kRing);
+  std::atomic<uint64_t> published{0};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> exact_hits{0};
+  std::atomic<uint64_t> recycled_aborts{0};
+
+  constexpr int kCommitters = 3;
+  constexpr int kCommitsEach = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCommitters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCommitsEach; ++i) {
+        Timestamp a = anchor_clock.fetch_add(1) + 1;
+        Timestamp o = other_clock.fetch_add(1) + 1;
+        if (!csr.CommitCheck(a, o).ok()) continue;  // racing inversion
+        uint64_t seq = published.fetch_add(1, std::memory_order_relaxed);
+        ring[seq % kRing].store((a << 32) | o, std::memory_order_release);
+        // Let the reclamation floor trail the commit frontier.
+        Timestamp floor = a > 600 ? a - 600 : 0;
+        Timestamp cur = min_active.load(std::memory_order_relaxed);
+        while (floor > cur &&
+               !min_active.compare_exchange_weak(cur, floor)) {
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t n = published.load(std::memory_order_acquire);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        uint64_t packed =
+            ring[rng.Uniform(std::min<uint64_t>(n, kRing)) % kRing].load(
+                std::memory_order_acquire);
+        if (packed == 0) continue;
+        Timestamp a = packed >> 32;
+        Timestamp o = packed & 0xffffffffull;
+        auto sel = csr.SelectSnapshot(
+            a, [&] { return other_clock.load(std::memory_order_relaxed); });
+        if (!sel.ok()) {
+          // Only possible once the recycler dropped this anchor's range.
+          EXPECT_LE(a, min_active.load()) << "live-range selection aborted";
+          recycled_aborts.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        ASSERT_EQ(*sel, o) << "hit-path selection diverged from the "
+                              "published mapping at anchor "
+                           << a;
+        exact_hits.fetch_add(1, std::memory_order_relaxed);
+        // Exercise the other lock-free reads under the same races.
+        Timestamp mv = csr.MinSelectableValue(a);
+        EXPECT_GE(mv, o) << "GC floor below an already-published mapping";
+        (void)csr.EntryCount();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      csr.Recycle();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < kCommitters; ++t) threads[t].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kCommitters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_GT(exact_hits.load(), 0u) << "stress never drove the hit path";
+  // The racing recycler is scheduling-dependent (on one core it may never
+  // run before stop); a final explicit pass makes the reclamation
+  // assertion deterministic — ~180 partitions exist and the floor trails
+  // the frontier by only 600 anchors.
+  csr.Recycle();
+  EXPECT_GT(csr.stats().partitions_recycled, 0u)
+      << "recycling reclaimed nothing despite a trailing floor";
+
+  // Post-mortem: surviving mappings still answer monotonically.
+  Timestamp last = 0;
+  for (Timestamp a = min_active.load() + 1; a < anchor_clock.load();
+       a += 53) {
+    auto sel = csr.SelectSnapshot(a, [&] { return other_clock.load(); });
+    if (!sel.ok()) continue;
+    EXPECT_GE(*sel, last) << "skewed mapping admitted at anchor " << a;
+    last = *sel;
+  }
+}
+
 // ------------------------------------------------- Recycling (Section 4.4)
 
 // Regression: after recycling, stale partitions are reclaimed while

@@ -126,7 +126,9 @@ TEST(LogManagerTest, FlushForcesDurability) {
   opts.flush_watermark = 1 << 30;
   LogManager log(std::make_unique<MemDevice>(), opts);
   Lsn lsn = log.Append(Bytes("x"));
-  EXPECT_LT(log.DurableLsn(), lsn);
+  // No assertion on DurableLsn() before Flush(): the background flusher
+  // may legitimately run a pass between Append and any check (observed
+  // under TSan's scheduling), so "not yet durable" is unobservable here.
   ASSERT_TRUE(log.Flush().ok());
   EXPECT_GE(log.DurableLsn(), lsn);
 }
