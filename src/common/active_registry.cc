@@ -104,7 +104,20 @@ size_t ActiveSnapshotRegistry::Acquire() {
 
 void ActiveSnapshotRegistry::Release(size_t slot) {
   Clear(slot);
-  TlsCaches().For(this, gen_).push_back(slot);
+  std::vector<size_t>& cache = TlsCaches().For(this, gen_);
+  cache.push_back(slot);
+  // Cap the per-thread cache: when transactions are acquired on one thread
+  // and released on another (worker-pool handoff), the releasing thread
+  // would otherwise hoard slots until thread exit while acquirers keep
+  // claiming fresh ones toward the hard capacity limit. Spill half back to
+  // the shared pool so the cap isn't re-hit on the very next Release.
+  constexpr size_t kMaxCachedSlots = 32;
+  if (cache.size() > kMaxCachedSlots) {
+    std::vector<size_t> spill(cache.begin() + kMaxCachedSlots / 2,
+                              cache.end());
+    cache.resize(kMaxCachedSlots / 2);
+    SpillSlots(std::move(spill));
+  }
 }
 
 void ActiveSnapshotRegistry::SpillSlots(std::vector<size_t>&& slots) {

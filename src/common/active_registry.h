@@ -28,9 +28,12 @@ namespace skeena {
 ///    plain vector pop/push with no shared-state round-trip. Slots a thread
 ///    caches stay claimed (MinActive keeps scanning them; they read as
 ///    kEmpty), which keeps the scan bound at the peak transaction
-///    concurrency. A thread spills its cached slots back to the registry
-///    when it exits (liveness-checked, so registry teardown is safe), so
-///    thread churn never strands slots.
+///    concurrency. The cache is capped: Release() spills excess back to the
+///    shared pool (under spill_mu_) once it exceeds the cap, so a thread
+///    that only ever releases — acquire-on-one-thread/release-on-another
+///    handoff — cannot strand slots while acquirers claim fresh ones. A
+///    thread also spills its cached slots when it exits (liveness-checked,
+///    so registry teardown is safe), so thread churn never strands slots.
 ///  * ClaimSlot() grows the slot array in chunks under a mutex (cold path:
 ///    first use per thread plus growth). Unlike the previous assert — which
 ///    compiled out in release builds and let slot `initial_slots` write out

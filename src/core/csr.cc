@@ -167,41 +167,47 @@ SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
 Result<Timestamp> SnapshotRegistry::SelectSnapshot(
     Timestamp anchor_snap, const std::function<Timestamp()>& latest_other) {
   TickAccess();
-  EpochGuard guard(*epoch_);
 
   // ---- Lock-free fast path: Algorithm 1's hit case. The mapping is
   // already recorded (exact key) or implied (sealed predecessor): no
-  // mutex, no shared write — only the epoch pin and sharded stats.
-  const PartitionList* list = list_.load(std::memory_order_acquire);
-  if (!list->parts.empty()) {
-    size_t idx = LocatePartition(*list, anchor_snap);
-    if (idx == kNpos) {
-      // The partition that covered this (old) snapshot was recycled.
-      select_aborts_.Add(1);
-      return Status::SkeenaAbort("anchor snapshot predates CSR");
-    }
-    const Partition* p = list->parts[idx];
-    bool is_last = idx + 1 == list->parts.size();
-    size_t n = p->count.load(std::memory_order_acquire);
-    size_t ub = UpperBound(*p, n, anchor_snap);
-    if (ub > 0) {
-      const Entry& pred = p->entries[ub - 1];
-      if (pred.key == anchor_snap || !is_last) {
-        // Exact key: the interval at our snapshot already covers the
-        // selection (Algorithm 1 line 9). Sealed partition: immutable, so
-        // no commit can ever land between the predecessor and our snapshot
-        // — the mapping Algorithm 1 line 10 would insert is already
-        // implied. This is how inactive indexes "continue to serve
-        // existing transactions for snapshot selection" (Section 4.3).
-        mappings_.Add(1);
-        return pred.vmax.load(std::memory_order_acquire);
+  // mutex, no shared write — only the epoch pin and sharded stats. The
+  // guard is scoped to this block: SelectSlow runs entirely under
+  // write_mu_, where nothing can be retired, and staying pinned across
+  // the lock wait would only stall epoch advancement.
+  {
+    EpochGuard guard(*epoch_);
+    const PartitionList* list = list_.load(std::memory_order_acquire);
+    if (!list->parts.empty()) {
+      size_t idx = LocatePartition(*list, anchor_snap);
+      if (idx == kNpos) {
+        // The partition that covered this (old) snapshot was recycled.
+        select_aborts_.Add(1);
+        return Status::SkeenaAbort("anchor snapshot predates CSR");
       }
-    } else if (!is_last) {
-      // Without a predecessor the selection would need a new mapping that
-      // can never land in a sealed partition: abort.
-      sealed_aborts_.Add(1);
-      select_aborts_.Add(1);
-      return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+      const Partition* p = list->parts[idx];
+      bool is_last = idx + 1 == list->parts.size();
+      size_t n = p->count.load(std::memory_order_acquire);
+      size_t ub = UpperBound(*p, n, anchor_snap);
+      if (ub > 0) {
+        const Entry& pred = p->entries[ub - 1];
+        if (pred.key == anchor_snap || !is_last) {
+          // Exact key: the interval at our snapshot already covers the
+          // selection (Algorithm 1 line 9). Sealed partition: immutable,
+          // so no commit can ever land between the predecessor and our
+          // snapshot — the mapping Algorithm 1 line 10 would insert is
+          // already implied. This is how inactive indexes "continue to
+          // serve existing transactions for snapshot selection"
+          // (Section 4.3).
+          mappings_.Add(1);
+          return pred.vmax.load(std::memory_order_acquire);
+        }
+      } else if (!is_last) {
+        // Without a predecessor the selection would need a new mapping
+        // that can never land in a sealed partition: abort.
+        sealed_aborts_.Add(1);
+        select_aborts_.Add(1);
+        return Status::SkeenaAbort("mapping lands in sealed CSR partition");
+      }
     }
   }
 
@@ -280,7 +286,10 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
                                      bool anchor_engine_wrote,
                                      bool other_engine_wrote) {
   TickAccess();
-  EpochGuard guard(*epoch_);
+  // No epoch guard: the whole body runs under write_mu_, and every retire
+  // of lists/partitions happens under the same mutex, so nothing reachable
+  // from the published list can be reclaimed while we hold it. Pinning
+  // here would stall epoch advancement for the lock wait + check + install.
   std::lock_guard<std::mutex> lock(write_mu_);
   PartitionList* list = list_.load(std::memory_order_relaxed);
   if (list->parts.empty()) {
@@ -375,10 +384,16 @@ void SnapshotRegistry::RecycleLocked(Timestamp min_snap) {
   nl->parts.assign(list->parts.begin() + static_cast<long>(drop),
                    list->parts.end());
   nl->floor = nl->parts.front()->min_key;
-  // Readers may still be walking the dropped partitions through an older
-  // list snapshot; retire instead of freeing under a latch.
-  for (size_t i = 0; i < drop; ++i) epoch_->Retire(list->parts[i]);
+  // Readers may still be walking the dropped partitions; EBR requires
+  // them to be unreachable before Retire(), so unlink first by publishing
+  // the new list, then retire. Capture the pointers up front: PublishLocked
+  // retires the old list itself, and Retire() runs TryAdvance synchronously
+  // — with no reader pinned it can free `list` before we finish, no
+  // concurrency required.
+  std::vector<Partition*> dropped(
+      list->parts.begin(), list->parts.begin() + static_cast<long>(drop));
   PublishLocked(nl);
+  for (Partition* p : dropped) epoch_->Retire(p);
   partitions_recycled_.Add(drop);
 }
 

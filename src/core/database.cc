@@ -63,9 +63,8 @@ Database::Database(DatabaseOptions options)
   };
   csr_.SetMinAnchorProvider(min_anchor);
   auto min_other = [this, min_anchor] {
-    // Pin one epoch across both reads so the CSR list snapshot the floor
-    // is computed from cannot be reclaimed mid-computation.
-    EpochGuard guard(epoch_);
+    // MinSelectableValue pins its own epoch for the list traversal; the
+    // anchor-registry read needs no epoch protection.
     Timestamp v = csr_.MinSelectableValue(min_anchor());
     return v;  // kMaxTimestamp = unconstrained (fallback uses live clock)
   };

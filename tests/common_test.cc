@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -293,6 +296,55 @@ TEST(ActiveRegistryDeathTest, ExhaustingAbsoluteCapacityFailsLoudly) {
       "slot capacity exhausted");
 }
 #endif
+
+// Regression: Release() used to push the slot into the *releasing* thread's
+// TLS cache, spilled back only at thread exit. Under acquire-on-one-thread /
+// release-on-another handoff (worker pools), the acquiring thread never saw
+// slots come back and claimed fresh ones until the hard capacity abort. The
+// cache is now capped and spills excess to the shared pool.
+TEST(ActiveRegistryTest, CrossThreadHandoffRecyclesSlots) {
+  ActiveSnapshotRegistry reg(2);  // hard capacity 2 * 64 = 128 slots
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<size_t> handoff;
+  bool done = false;
+  std::thread releaser([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      cv.wait(lock, [&] { return !handoff.empty() || done; });
+      while (!handoff.empty()) {
+        size_t s = handoff.front();
+        handoff.pop_front();
+        lock.unlock();
+        reg.Release(s);
+        lock.lock();
+        cv.notify_all();
+      }
+      if (done) return;
+    }
+  });
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    size_t s = reg.Acquire();
+    seen.insert(s);
+    reg.BeginAcquire(s);
+    reg.SetSnapshot(s, 1);
+    std::unique_lock<std::mutex> lock(mu);
+    handoff.push_back(s);
+    cv.notify_all();
+    // Bound the slots in flight so recycling has a chance to keep up.
+    cv.wait(lock, [&] { return handoff.size() < 4; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  }
+  releaser.join();
+  // Slots must flow back through the shared spill pool rather than strand
+  // in the releaser's TLS cache: total claims stay far below capacity.
+  EXPECT_LT(seen.size(), 64u);
+}
 
 TEST(ActiveRegistryTest, ConcurrentChurn) {
   ActiveSnapshotRegistry reg(256);
