@@ -5,7 +5,10 @@
 //
 // Expected shape: pipelining wins throughput at saturation (workers detach
 // instead of waiting out the flush) and the partitioned queue relieves the
-// central daemon at high connection counts.
+// central daemon at high connection counts. The wakeup matrices quantify
+// the parking-lot path: batched unparks drive syscall-wakeups-per-commit
+// toward 1/batch-size in pipelined mode (the old condvar design was 1.0 by
+// construction), while spin successes avoid the kernel entirely.
 
 #include "bench/common/bench_harness.h"
 
@@ -19,6 +22,10 @@ void Run() {
   auto matrix = std::make_shared<ResultMatrix>(
       "Ablation: commit protocol (50% InnoDB read-write micro, SSD log)",
       "Protocol");
+  auto wakeups = std::make_shared<ResultMatrix>(
+      "Ablation: commit wakeups (syscall wakeups / commit)", "Protocol");
+  auto parks = std::make_shared<ResultMatrix>(
+      "Ablation: commit waits (waiter parks / commit)", "Protocol");
 
   struct Variant {
     std::string label;
@@ -46,12 +53,33 @@ void Run() {
                      // distinction only exists when flushes cost something.
                      cfg.log_latency = DeviceLatency::Ssd();
                      MicroWorkload* wl = cache.Get(cfg, true);
+                     // Workloads are cached per variant, so per-cell wakeup
+                     // accounting is the delta across this run.
+                     CommitPipeline::Stats before =
+                         wl->db()->pipeline().stats();
                      RunResult r = RunWorkload(
                          conns, scale.duration_ms,
                          [wl](int t, Rng& rng, uint64_t* q) {
                            return wl->RunOneTxn(t, rng, q);
                          });
-                     matrix->Set(v.label, std::to_string(conns), r.Tps());
+                     CommitPipeline::Stats after =
+                         wl->db()->pipeline().stats();
+                     uint64_t done = after.completed - before.completed;
+                     uint64_t wakes =
+                         (after.wake_syscalls - before.wake_syscalls) +
+                         (after.daemon_wakes - before.daemon_wakes);
+                     uint64_t parked =
+                         after.waiter_parks - before.waiter_parks;
+                     std::string col = std::to_string(conns);
+                     matrix->Set(v.label, col, r.Tps());
+                     wakeups->Set(v.label, col,
+                                  done == 0 ? 0.0
+                                            : static_cast<double>(wakes) /
+                                                  static_cast<double>(done));
+                     parks->Set(v.label, col,
+                                done == 0 ? 0.0
+                                          : static_cast<double>(parked) /
+                                                static_cast<double>(done));
                      return r;
                    });
     }
@@ -59,6 +87,8 @@ void Run() {
 
   ::benchmark::RunSpecifiedBenchmarks();
   matrix->Print();
+  wakeups->Print(3);
+  parks->Print(3);
 }
 
 }  // namespace

@@ -47,6 +47,25 @@ assert doc["points"], "no points recorded"
 for p in doc["points"]:
     assert set(p) == {"matrix", "row", "col", "value"}, f"bad point {p}"
     assert isinstance(p["value"], (int, float)), f"bad value {p}"
+if doc["bench"] == "ablation_commit":
+    # The parking-lot wakeup accounting must be present for every protocol
+    # variant: syscall-wakeups-per-commit and waiter-parks-per-commit
+    # matrices, with sane (non-negative, finite) values.
+    wake = [p for p in doc["points"] if "wakeups" in p["matrix"]]
+    parks = [p for p in doc["points"] if "parks" in p["matrix"]]
+    assert wake, "no wakeup-count points in BENCH_ablation_commit.json"
+    assert parks, "no park-count points in BENCH_ablation_commit.json"
+    expected_rows = {"pipelined, 1 queue", "pipelined, 4 queues",
+                     "synchronous flush"}
+    for name, pts in (("wakeups", wake), ("parks", parks)):
+        rows = {p["row"] for p in pts}
+        assert rows == expected_rows, f"{name} rows {rows} != {expected_rows}"
+        for p in pts:
+            assert 0 <= p["value"] < 1e6, f"absurd {name} value {p}"
+    sync_wakes = [p["value"] for p in wake if p["row"] == "synchronous flush"]
+    assert all(v == 0 for v in sync_wakes), \
+        f"sync mode issued completion wakeups: {sync_wakes}"
+    print(f"  OK wakeup fields: {len(wake)} wakeup + {len(parks)} park points")
 print(f"  OK {sys.argv[1]}: {len(doc['points'])} points")
 EOF
   else

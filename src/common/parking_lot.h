@@ -1,0 +1,81 @@
+#ifndef SKEENA_COMMON_PARKING_LOT_H_
+#define SKEENA_COMMON_PARKING_LOT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/spin_latch.h"
+
+namespace skeena {
+
+/// Futex-style parking lot: threads block ("park") on a 32-bit word and are
+/// released by a single wake issued after the word (or the waiters'
+/// predicate) changes. This is the kernel-synchronization primitive behind
+/// the commit pipeline's batched wakeups and the log manager's durable-LSN
+/// waits — it replaces per-waiter mutex+condvar round-trips with at most
+/// one syscall per *event*, and none at all when nobody is parked.
+///
+/// Protocol (the futex(2) contract):
+///  * `Park(word, expected)` blocks only while `word == expected`, checked
+///    atomically against concurrent wakes; it returns immediately when the
+///    word already moved, and may return spuriously — callers always
+///    recheck their predicate in a loop.
+///  * Wakers must change the word (or the state the waiters' predicate
+///    reads, ordered before a bump of the word) *before* calling
+///    `WakeOne/WakeAll`, otherwise a concurrent Park can sleep through the
+///    wake.
+///
+/// Backends: `futex(2)` on Linux; elsewhere — or when forced via
+/// `SetBackendForTest` / SKEENA_PARKING_FALLBACK=1 — a static hashed table
+/// of mutex+condvar buckets keyed by word address. Bucket collisions only
+/// add spurious wakes, which the protocol already tolerates.
+class ParkingLot {
+ public:
+  enum class Backend { kFutex, kCondvar };
+
+  /// Process-wide counters (sharded; relaxed increments, folded on read).
+  struct Stats {
+    uint64_t parks = 0;            // kernel-blocking park attempts
+    uint64_t immediate_parks = 0;  // Park() returned without blocking
+    uint64_t wakes = 0;            // WakeOne/WakeAll calls issued
+  };
+
+  /// Blocks the calling thread while `word == expected` (see protocol
+  /// above). Spurious returns allowed; recheck and re-park. Returns true
+  /// iff the thread actually blocked in the kernel; false when the word
+  /// had already moved (pre-check or the futex's atomic EAGAIN check).
+  static bool Park(const std::atomic<uint32_t>& word, uint32_t expected);
+
+  /// Wakes every thread parked on `word`.
+  static void WakeAll(const std::atomic<uint32_t>& word);
+
+  /// Wakes at least one thread parked on `word` — exactly one on the futex
+  /// backend; the condvar fallback wakes the whole bucket (a single notify
+  /// could land on a colliding word's waiter, which would re-park and
+  /// swallow the wake). Treat it as a contention hint, not a contract.
+  static void WakeOne(const std::atomic<uint32_t>& word);
+
+  static Stats stats();
+
+  static Backend backend();
+  /// Test hook: swaps the backend process-wide. Calling it while any thread
+  /// is parked is undefined (a futex-parked thread cannot be condvar-woken).
+  static void SetBackendForTest(Backend b);
+};
+
+/// Spins up to `iters` pause iterations waiting for `pred()`; returns true
+/// on success, false when the caller should fall back to parking. The
+/// budget is deliberately tiny: it covers the "completer is one cache miss
+/// away" window, not a scheduling quantum.
+template <typename Pred>
+inline bool SpinUntil(Pred&& pred, int iters = 128) {
+  for (int i = 0; i < iters; ++i) {
+    if (pred()) return true;
+    CpuRelax();
+  }
+  return pred();
+}
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_PARKING_LOT_H_

@@ -1,6 +1,6 @@
 #include "core/commit_pipeline.h"
 
-#include <chrono>
+#include <algorithm>
 
 namespace skeena {
 
@@ -26,21 +26,56 @@ CommitPipeline::~CommitPipeline() {
   for (int i = 0; i < 2; ++i) {
     if (engines_[i] != nullptr) engines_[i]->FlushLog();
   }
-  for (auto& q : queues_) q->cv.notify_all();
-  for (auto& d : daemons_) d.join();
-  // Drain anything left: force both logs durable, then complete.
   for (auto& q : queues_) {
-    std::lock_guard<std::mutex> guard(q->mu);
-    for (Entry& e : q->entries) {
-      for (int i = 0; i < 2; ++i) {
-        if (e.lsns[i] != 0 && engines_[i] != nullptr) {
-          engines_[i]->FlushLog();
-        }
-      }
-      if (e.waiter != nullptr) e.waiter->Complete();
-    }
-    q->entries.clear();
+    q->work_seq.fetch_add(1, std::memory_order_seq_cst);
+    ParkingLot::WakeAll(q->work_seq);
   }
+  for (auto& d : daemons_) d.join();
+  // Drain anything left: force both logs durable, then complete — and keep
+  // doing so until the last in-flight EnqueueAndWait has exited. A
+  // straddling waiter may push its entry only after our first sweep (it
+  // incremented in_flight_ but hadn't enqueued yet), so a single pass
+  // could strand it parked forever; re-draining until in_flight_ hits
+  // zero completes every such entry, and a completed waiter cannot
+  // re-park (it rechecks done() before any park). Only after that is it
+  // safe to free the queues and stat counters the exiting waiters touch.
+  while (true) {
+    for (auto& q : queues_) {
+      {
+        std::lock_guard<std::mutex> guard(q->mu);
+        for (Entry& e : q->entries) {
+          for (int i = 0; i < 2; ++i) {
+            if (e.lsns[i] != 0 && engines_[i] != nullptr) {
+              engines_[i]->FlushLog();
+            }
+          }
+          if (e.waiter != nullptr) e.waiter->Complete();
+        }
+        q->entries.clear();
+      }
+      // Release anyone still parked on the drain word (same bump-then-
+      // check-waiters order as the daemon, so the syscall is elided when
+      // nobody parked).
+      q->drain_seq.fetch_add(1, std::memory_order_seq_cst);
+      if (q->parked_waiters.load(std::memory_order_seq_cst) != 0) {
+        ParkingLot::WakeAll(q->drain_seq);
+      }
+    }
+    if (in_flight_.load(std::memory_order_acquire) == 0) break;
+    // A straddler may be descheduled mid-call; give its core up rather
+    // than spinning the sweep.
+    std::this_thread::yield();
+  }
+}
+
+bool CommitPipeline::Covered(const Lsn lsns[2]) const {
+  for (int i = 0; i < 2; ++i) {
+    if (lsns[i] != 0 && engines_[i] != nullptr &&
+        engines_[i]->DurableLsn() < lsns[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void CommitPipeline::Enqueue(const Lsn lsns[2],
@@ -55,56 +90,180 @@ void CommitPipeline::Enqueue(const Lsn lsns[2],
       }
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
-    if (waiter != nullptr) waiter->Complete();
+    if (waiter != nullptr && waiter->Complete()) wake_syscalls_.Add(1);
     return;
   }
-  Queue& q = *queues_[queue_hint % queues_.size()];
+  if (Covered(lsns)) {
+    // Both logs already durable: complete inline, skip the queue entirely
+    // (no daemon round-trip, no wakeup).
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (waiter != nullptr && waiter->Complete()) wake_syscalls_.Add(1);
+    return;
+  }
+  Queue& q = QueueFor(queue_hint);
+  bool was_empty;
   {
     std::lock_guard<std::mutex> guard(q.mu);
+    was_empty = q.entries.empty();
     Entry e;
     e.lsns[0] = lsns[0];
     e.lsns[1] = lsns[1];
     e.waiter = std::move(waiter);
     q.entries.push_back(std::move(e));
   }
-  q.cv.notify_one();
+  // Wake the daemon only on the empty → non-empty transition, and only
+  // when it actually parked — a busy daemon keeps draining without
+  // per-enqueue syscalls.
+  if (was_empty) {
+    q.work_seq.fetch_add(1, std::memory_order_seq_cst);
+    if (q.daemon_parked.load(std::memory_order_seq_cst) != 0) {
+      ParkingLot::WakeOne(q.work_seq);
+      daemon_wakes_.Add(1);
+    }
+  }
 }
 
 void CommitPipeline::EnqueueAndWait(const Lsn lsns[2],
                                     const std::shared_ptr<CommitWaiter>& waiter,
                                     size_t queue_hint) {
   waiter->Reset();
+  if (options_.mode == Mode::kSync) {
+    Enqueue(lsns, waiter, queue_hint);  // completes inline
+    return;
+  }
+  // The in-flight count keeps the destructor from freeing the queues and
+  // stat counters while a waiter woken off the drain word is still
+  // touching them on its way out.
+  in_flight_.fetch_add(1, std::memory_order_acquire);
+  Queue& q = QueueFor(queue_hint);
   Enqueue(lsns, waiter, queue_hint);
-  waiter->Wait();
+  // Spin first: the daemon often completes a drain within the budget, and
+  // a spin success costs zero syscalls on both sides.
+  if (SpinUntil([&] { return waiter->done(); })) {
+    waiter_spin_successes_.Add(1);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  // Park on the queue's drain word, not the waiter's own word: every
+  // waiter of a drain shares one word, so the daemon releases all of them
+  // with a single WakeAll. Waiters of a later drain wake spuriously,
+  // recheck, and re-park on the new sequence value.
+  bool parked = false;
+  while (!waiter->done()) {
+    uint32_t seq = q.drain_seq.load(std::memory_order_acquire);
+    if (waiter->done()) break;
+    q.parked_waiters.fetch_add(1, std::memory_order_seq_cst);
+    if (!waiter->done()) {
+      // Park reports whether the thread truly blocked — a drain racing in
+      // between makes it return immediately, which stays a spin success.
+      parked |= ParkingLot::Park(q.drain_seq, seq);
+    }
+    q.parked_waiters.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Every wait resolves in exactly one bucket: blocked in the kernel at
+  // least once, or never needed it (spin budget or a recheck win).
+  if (parked) {
+    waiter_parks_.Add(1);
+  } else {
+    waiter_spin_successes_.Add(1);
+  }
+  in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
 void CommitPipeline::DaemonLoop(size_t queue_idx) {
   Queue& q = *queues_[queue_idx];
+  // Drain accumulator; uncovered absorbed entries carry over between
+  // iterations, so it can be non-empty at loop top.
+  std::deque<Entry> batch;
   while (true) {
-    Entry entry;
+    // Read the work sequence before checking the queue: an enqueue that
+    // races past the swap bumps it, so the park below returns immediately.
+    uint32_t seq = q.work_seq.load(std::memory_order_acquire);
     {
-      std::unique_lock<std::mutex> guard(q.mu);
-      q.cv.wait(guard, [&] {
-        return stop_.load(std::memory_order_acquire) || !q.entries.empty();
-      });
-      if (q.entries.empty()) {
-        if (stop_.load(std::memory_order_acquire)) return;
-        continue;
+      std::lock_guard<std::mutex> guard(q.mu);
+      while (!q.entries.empty()) {
+        batch.push_back(std::move(q.entries.front()));
+        q.entries.pop_front();
       }
-      entry = std::move(q.entries.front());
-      q.entries.pop_front();
     }
-    // Wait until both engines have persisted this transaction's records.
+    if (batch.empty()) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      q.daemon_parked.store(1, std::memory_order_seq_cst);
+      bool still_empty;
+      {
+        std::lock_guard<std::mutex> guard(q.mu);
+        still_empty = q.entries.empty();
+      }
+      if (still_empty && !stop_.load(std::memory_order_acquire)) {
+        ParkingLot::Park(q.work_seq, seq);
+      }
+      q.daemon_parked.store(0, std::memory_order_relaxed);
+      continue;
+    }
+    // One pass over the drain: a single durable wait per engine covers the
+    // whole batch (every entry was appended before the swap, so the batch
+    // maximum bounds them all), then every entry completes together.
     // WaitDurable blocks on the engine's group-commit flusher, so the
-    // daemon — not the worker — absorbs the log-flush latency.
+    // daemon — not the workers — absorbs the log-flush latency.
+    Lsn need[2] = {0, 0};
+    for (const Entry& e : batch) {
+      need[0] = std::max(need[0], e.lsns[0]);
+      need[1] = std::max(need[1], e.lsns[1]);
+    }
     for (int i = 0; i < 2; ++i) {
-      if (entry.lsns[i] != 0 && engines_[i] != nullptr) {
-        engines_[i]->WaitDurable(entry.lsns[i]);
+      if (need[i] != 0 && engines_[i] != nullptr) {
+        engines_[i]->WaitDurable(need[i]);
       }
     }
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    if (entry.waiter != nullptr) entry.waiter->Complete();
+    // Absorb entries that arrived during the wait: the ones this advance
+    // already covers complete in the same pass — and share its single
+    // unpark — instead of waiting out another flush round.
+    {
+      std::lock_guard<std::mutex> guard(q.mu);
+      while (!q.entries.empty()) {
+        batch.push_back(std::move(q.entries.front()));
+        q.entries.pop_front();
+      }
+    }
+    std::deque<Entry> covered;
+    std::deque<Entry> leftover;
+    for (Entry& e : batch) {
+      if (Covered(e.lsns)) {
+        covered.push_back(std::move(e));
+      } else {
+        leftover.push_back(std::move(e));
+      }
+    }
+    batch.swap(leftover);  // uncovered entries lead the next drain
+    // Publish the count before releasing any waiter: a client returning
+    // from EnqueueAndWait must already be reflected in completed().
+    completed_.fetch_add(covered.size(), std::memory_order_relaxed);
+    drain_batches_.Add(1);
+    for (Entry& e : covered) {
+      if (e.waiter != nullptr && e.waiter->Complete()) {
+        wake_syscalls_.Add(1);
+      }
+    }
+    // One batched unpark releases every waiter parked on this drain; skip
+    // the syscall entirely when nobody parked (they all spun or wait on
+    // their own handle).
+    q.drain_seq.fetch_add(1, std::memory_order_seq_cst);
+    if (q.parked_waiters.load(std::memory_order_seq_cst) != 0) {
+      ParkingLot::WakeAll(q.drain_seq);
+      wake_syscalls_.Add(1);
+    }
   }
+}
+
+CommitPipeline::Stats CommitPipeline::stats() const {
+  Stats s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.wake_syscalls = wake_syscalls_.Read();
+  s.daemon_wakes = daemon_wakes_.Read();
+  s.waiter_parks = waiter_parks_.Read();
+  s.waiter_spin_successes = waiter_spin_successes_.Read();
+  s.drain_batches = drain_batches_.Read();
+  return s;
 }
 
 }  // namespace skeena

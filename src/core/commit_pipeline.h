@@ -2,15 +2,15 @@
 #define SKEENA_CORE_COMMIT_PIPELINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/parking_lot.h"
+#include "common/sharded_counter.h"
 #include "common/types.h"
 #include "core/engine_iface.h"
 
@@ -20,30 +20,55 @@ namespace skeena {
 /// transaction become visible internally at post-commit, but are only
 /// released to the application once the commit daemon observes both
 /// engines' durable LSNs covering the transaction (paper Section 4.5).
+///
+/// The handle is one atomic state word (kPending → kDone) instead of a
+/// mutex+condvar: completion is a single exchange, and the kernel is only
+/// touched when a waiter actually parked on this word (kParked). Pipelined
+/// commits normally never do — they park on the queue's shared drain word
+/// (see CommitPipeline::EnqueueAndWait) so one batched unpark releases a
+/// whole durable-LSN advance.
 class CommitWaiter {
  public:
-  void Complete() {
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      done_ = true;
+  /// Marks the waiter done and unparks any thread parked on this word.
+  /// Returns true iff a kernel wake was issued.
+  bool Complete() {
+    uint32_t prev = state_.exchange(kDone, std::memory_order_acq_rel);
+    if (prev == kParked) {
+      ParkingLot::WakeAll(state_);
+      return true;
     }
-    cv_.notify_all();
+    return false;
   }
 
+  bool done() const {
+    return state_.load(std::memory_order_acquire) == kDone;
+  }
+
+  /// Standalone blocking wait: spin briefly, then park on this waiter's own
+  /// word. Multiple threads may wait on one handle.
   void Wait() {
-    std::unique_lock<std::mutex> guard(mu_);
-    cv_.wait(guard, [this] { return done_; });
+    if (SpinUntil([this] { return done(); })) return;
+    uint32_t s = state_.load(std::memory_order_acquire);
+    while (s != kDone) {
+      if (s == kPending &&
+          !state_.compare_exchange_weak(s, kParked,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        continue;  // raced with Complete() or another waiter; re-examine
+      }
+      ParkingLot::Park(state_, kParked);
+      s = state_.load(std::memory_order_acquire);
+    }
   }
 
-  void Reset() {
-    std::lock_guard<std::mutex> guard(mu_);
-    done_ = false;
-  }
+  void Reset() { state_.store(kPending, std::memory_order_release); }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
+  static constexpr uint32_t kPending = 0;
+  static constexpr uint32_t kParked = 1;  // someone parked on this word
+  static constexpr uint32_t kDone = 2;
+
+  std::atomic<uint32_t> state_{kPending};
 };
 
 /// Skeena's extended group/pipelined commit (paper Section 4.5, after
@@ -53,6 +78,12 @@ class CommitWaiter {
 /// log records have fully persisted. Single-engine and read-only
 /// transactions also pass through the queue because they may have read
 /// cross-engine results that are not yet durable.
+///
+/// Wakeup path: the daemon drains its queue in one pass, waits once per
+/// engine for the batch's maximum LSN, completes every covered transaction,
+/// and issues ONE batched unpark on the queue's drain word — syscall
+/// wakeups per commit shrink with the batch size instead of being 1.0 by
+/// construction (see DESIGN.md "Commit wakeup path").
 class CommitPipeline {
  public:
   enum class Mode {
@@ -67,6 +98,27 @@ class CommitPipeline {
     size_t num_queues = 1;
   };
 
+  /// Wakeup accounting (sharded counters; folded on read).
+  struct Stats {
+    uint64_t completed = 0;
+    /// Kernel unpark syscalls issued to release committers: one per daemon
+    /// drain with parked waiters, plus direct CommitWaiter wakes (waiters
+    /// that parked on their own handle instead of the queue drain word).
+    uint64_t wake_syscalls = 0;
+    /// Producer→daemon work wakeups (empty→non-empty enqueues that found
+    /// the daemon parked).
+    uint64_t daemon_wakes = 0;
+    /// EnqueueAndWait waits that truly blocked in the kernel at least once
+    /// (immediate park returns — the word moved first — do not count).
+    uint64_t waiter_parks = 0;
+    /// EnqueueAndWait waits resolved without parking (spin budget or a
+    /// pre-park recheck win). waiter_parks + waiter_spin_successes equals
+    /// the number of pipelined EnqueueAndWait calls.
+    uint64_t waiter_spin_successes = 0;
+    /// Daemon drain passes that completed >= 1 transaction.
+    uint64_t drain_batches = 0;
+  };
+
   CommitPipeline(Options options, EngineIface* engine0, EngineIface* engine1);
   ~CommitPipeline();
 
@@ -78,11 +130,14 @@ class CommitPipeline {
   /// engine). `waiter->Complete()` fires when durable. `queue_hint`
   /// selects the partitioned queue (e.g., worker id). The waiter is shared:
   /// the daemon keeps its own reference while completing, so the waiting
-  /// side may destroy its handle the moment Wait() returns.
+  /// side may destroy its handle the moment Wait() returns. Entries whose
+  /// LSNs are already durable complete inline without touching the queue.
   void Enqueue(const Lsn lsns[2], std::shared_ptr<CommitWaiter> waiter,
                size_t queue_hint = 0);
 
-  /// Convenience: enqueue + block until durable.
+  /// Convenience: enqueue + block until durable. Spins briefly, then parks
+  /// on the queue's shared drain word so the daemon's batched unpark (one
+  /// syscall per drain) covers every waiter of that drain.
   void EnqueueAndWait(const Lsn lsns[2],
                       const std::shared_ptr<CommitWaiter>& waiter,
                       size_t queue_hint = 0);
@@ -91,6 +146,8 @@ class CommitPipeline {
     return completed_.load(std::memory_order_relaxed);
   }
 
+  Stats stats() const;
+
  private:
   struct Entry {
     Lsn lsns[2];
@@ -98,9 +155,23 @@ class CommitPipeline {
   };
   struct Queue {
     std::mutex mu;
-    std::condition_variable cv;
     std::deque<Entry> entries;
+    /// Daemon work word: bumped on empty→non-empty enqueue and at
+    /// shutdown; the daemon parks here when its queue is empty.
+    std::atomic<uint32_t> work_seq{0};
+    std::atomic<uint32_t> daemon_parked{0};
+    /// Drain word: bumped once per daemon drain pass. EnqueueAndWait
+    /// waiters park here, so one WakeAll releases the whole batch.
+    std::atomic<uint32_t> drain_seq{0};
+    std::atomic<uint32_t> parked_waiters{0};
   };
+
+  Queue& QueueFor(size_t hint) {
+    return *queues_[hint % queues_.size()];
+  }
+
+  /// True when both engines' durable LSNs already cover `lsns`.
+  bool Covered(const Lsn lsns[2]) const;
 
   void DaemonLoop(size_t queue_idx);
 
@@ -110,6 +181,16 @@ class CommitPipeline {
   std::vector<std::thread> daemons_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> completed_{0};
+  /// Pipelined EnqueueAndWait calls currently inside the wait path; the
+  /// destructor spins this to zero after completing + unparking everyone,
+  /// so exiting waiters never touch freed queue/counter state.
+  std::atomic<uint64_t> in_flight_{0};
+
+  ShardedCounter wake_syscalls_;
+  ShardedCounter daemon_wakes_;
+  ShardedCounter waiter_parks_;
+  ShardedCounter waiter_spin_successes_;
+  ShardedCounter drain_batches_;
 };
 
 }  // namespace skeena

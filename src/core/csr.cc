@@ -1,6 +1,7 @@
 #include "core/csr.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace skeena {
 
@@ -80,18 +81,17 @@ void SnapshotRegistry::AppendPartitionLocked(Timestamp key, Timestamp value) {
 }
 
 SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
-                                                            Timestamp value) {
+                                                            Timestamp value,
+                                                            size_t idx,
+                                                            size_t lb) {
   PartitionList* list = list_.load(std::memory_order_relaxed);
-  if (list->parts.empty()) {
-    AppendPartitionLocked(key, value);
-    return MapResult::kOk;
-  }
-  size_t idx = LocatePartition(*list, key);
-  if (idx == kNpos) return MapResult::kSealed;  // recycled range
   Partition* p = list->parts[idx];
   bool is_last = idx + 1 == list->parts.size();
   size_t n = p->count.load(std::memory_order_relaxed);
-  size_t lb = LowerBound(*p, n, key);
+  // The caller located idx/lb on this same list under write_mu_; nothing
+  // can have moved since.
+  assert(idx == LocatePartition(*list, key));
+  assert(lb == LowerBound(*p, n, key));
 
   if (lb < n && p->entries[lb].key == key) {
     Entry& e = p->entries[lb];
@@ -271,7 +271,11 @@ Result<Timestamp> SnapshotRegistry::SelectSlow(
     select_aborts_.Add(1);
     return Status::SkeenaAbort("mapping lands in sealed CSR partition");
   }
-  MapResult r = InstallLocked(anchor_snap, selected);
+  // The lower bound falls out of the upper bound already computed: equal
+  // only when the predecessor is an exact-key hit.
+  size_t lb = (have_pred && p->entries[ub - 1].key == anchor_snap) ? ub - 1
+                                                                   : ub;
+  MapResult r = InstallLocked(anchor_snap, selected, idx, lb);
   if (r == MapResult::kOk) {
     mappings_.Add(1);
     return selected;
@@ -352,7 +356,7 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
     return Status::SkeenaAbort("commit check failed");
   }
 
-  MapResult r = InstallLocked(anchor_cts, other_cts);
+  MapResult r = InstallLocked(anchor_cts, other_cts, idx, lb);
   if (r == MapResult::kOk) {
     mappings_.Add(1);
     return Status::OK();

@@ -201,8 +201,14 @@ class SnapshotRegistry {
   static size_t UpperBound(const Partition& p, size_t n, Timestamp key);
 
   // Installs (key, value) into the list (append, interval widen, COW
-  // insert, or new-partition spawn). Caller holds write_mu_.
-  MapResult InstallLocked(Timestamp key, Timestamp value);
+  // insert, or new-partition spawn). Caller holds write_mu_ and passes the
+  // location it already computed on the current list: `idx` =
+  // LocatePartition(list, key) (must not be kNpos; the list must be
+  // non-empty) and `lb` = LowerBound(partition idx, its count, key) — both
+  // callers (SelectSlow, CommitCheck) have just searched the same list
+  // under the same mutex, so installs pay no repeated O(log n) searches.
+  MapResult InstallLocked(Timestamp key, Timestamp value, size_t idx,
+                          size_t lb);
 
   // Appends a fresh partition seeded with (key, value). Caller holds
   // write_mu_.

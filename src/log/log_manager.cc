@@ -84,10 +84,12 @@ Status LogManager::FlushLocked() {
   }
   flush_batches_.fetch_add(1, std::memory_order_relaxed);
   durable_lsn_.store(appended_lsn_, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> guard(durable_mu_);
+  // Publish the advance: bump the eventcount, then one batched unpark for
+  // however many waiters parked — and no syscall at all when none did.
+  durable_seq_.fetch_add(1, std::memory_order_seq_cst);
+  if (durable_waiters_.load(std::memory_order_seq_cst) != 0) {
+    ParkingLot::WakeAll(durable_seq_);
   }
-  durable_cv_.notify_all();
   return Status::OK();
 }
 
@@ -95,8 +97,20 @@ Status LogManager::Flush() { return FlushLocked(); }
 
 void LogManager::WaitDurable(Lsn lsn) {
   if (DurableLsn() >= lsn) return;
-  std::unique_lock<std::mutex> guard(durable_mu_);
-  durable_cv_.wait(guard, [&] { return DurableLsn() >= lsn; });
+  if (SpinUntil([&] { return DurableLsn() >= lsn; })) return;
+  while (true) {
+    // Futex protocol: read the sequence, recheck the predicate, park only
+    // while the sequence is unchanged. A flusher that advances durability
+    // between the recheck and the park bumps the word first, so the park
+    // returns immediately instead of missing the wake.
+    uint32_t seq = durable_seq_.load(std::memory_order_acquire);
+    if (DurableLsn() >= lsn) return;
+    durable_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    if (DurableLsn() < lsn) {
+      ParkingLot::Park(durable_seq_, seq);
+    }
+    durable_waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void LogManager::FlusherLoop() {

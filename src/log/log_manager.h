@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parking_lot.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "log/storage_device.h"
@@ -62,7 +63,11 @@ class LogManager {
     return durable_lsn_.load(std::memory_order_acquire);
   }
 
-  /// Blocks until `lsn` is durable.
+  /// Blocks until `lsn` is durable. Spin-then-park on the durable sequence
+  /// word: the flusher publishes each durability advance with one bump and
+  /// at most one batched unpark for all waiters (none when nobody parked) —
+  /// the same futex-style path the commit pipeline's waiters use, so kSync
+  /// commits and daemon flush waits share one wakeup discipline.
   void WaitDurable(Lsn lsn);
 
   /// Forces all staged records to the device before returning.
@@ -93,8 +98,10 @@ class LogManager {
   Lsn appended_lsn_ = 0;  // on device, possibly unsynced (flush_mu_)
   std::atomic<uint64_t> flush_batches_{0};
 
-  std::mutex durable_mu_;
-  std::condition_variable durable_cv_;
+  // Durable-advance eventcount: bumped once per flush batch that moved
+  // durable_lsn_; WaitDurable parks on it (see ParkingLot protocol).
+  std::atomic<uint32_t> durable_seq_{0};
+  std::atomic<uint32_t> durable_waiters_{0};
 
   std::mutex flush_mu_;  // serializes flush batches
   std::atomic<bool> stop_{false};

@@ -80,6 +80,47 @@ TEST(CsrSelectTest, RepeatedSameKeySelectionsStayAtOneEntry) {
   EXPECT_EQ(csr.PartitionCount(), 1u);
 }
 
+// Pins the install paths behind the located-hint refactor (the callers now
+// pass the partition index / lower bound they already computed into
+// InstallLocked): in-order appends, same-key interval widening, the
+// out-of-order copy-on-write insert and the full-partition spawn must all
+// still produce the exact mappings they did when InstallLocked re-searched.
+TEST(CsrSelectTest, InstallPathsKeepExactMappingsAcrossOrderings) {
+  SnapshotRegistry csr(SmallOptions(4));
+  // In-order appends.
+  ASSERT_TRUE(csr.CommitCheck(10, 100).ok());
+  ASSERT_TRUE(csr.CommitCheck(30, 300).ok());
+  EXPECT_EQ(csr.EntryCount(), 2u);
+  // Out-of-order insert into the open partition (COW path): key 20 lands
+  // between the published keys.
+  ASSERT_TRUE(csr.CommitCheck(20, 200).ok());
+  EXPECT_EQ(csr.EntryCount(), 3u);
+  EXPECT_EQ(csr.PartitionCount(), 1u);
+  // Same-key widen: a selection at key 20 reuses the entry (no growth).
+  auto sel = csr.SelectSnapshot(20, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, 200u);
+  EXPECT_EQ(csr.EntryCount(), 3u);
+  // Fill the partition, then spawn: key beyond the full range opens a new
+  // partition seeded with the mapping.
+  ASSERT_TRUE(csr.CommitCheck(40, 400).ok());
+  ASSERT_TRUE(csr.CommitCheck(50, 500).ok());
+  EXPECT_EQ(csr.PartitionCount(), 2u);
+  EXPECT_EQ(csr.EntryCount(), 5u);
+  // Every mapping still answers exactly.
+  const std::pair<Timestamp, Timestamp> expected[] = {
+      {10, 100}, {20, 200}, {30, 300}, {40, 400}, {50, 500}};
+  for (const auto& [a, o] : expected) {
+    auto s = csr.SelectSnapshot(a, [] { return Timestamp{9999}; });
+    ASSERT_TRUE(s.ok()) << "anchor " << a;
+    EXPECT_EQ(*s, o) << "anchor " << a;
+  }
+  // Predecessor semantics unchanged across the partition boundary.
+  auto mid = csr.SelectSnapshot(45, [] { return Timestamp{9999}; });
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, 400u);
+}
+
 // ---------------------------------------------- Algorithm 2 (commit check)
 
 TEST(CsrCommitTest, InOrderCommitsPass) {
@@ -439,6 +480,23 @@ TEST(CsrConcurrencyTest, LockFreeReadersSeeExactPublishedMappings) {
   });
 
   for (int t = 0; t < kCommitters; ++t) threads[t].join();
+  // Reader scheduling is not guaranteed on an oversubscribed box (the
+  // hit-count assertion below used to flake under parallel ctest when the
+  // reader threads never ran before stop): drive one exact hit
+  // deterministically against the newest published mapping.
+  {
+    uint64_t n = published.load(std::memory_order_acquire);
+    ASSERT_GT(n, 0u);
+    uint64_t packed = ring[(n - 1) % kRing].load(std::memory_order_acquire);
+    ASSERT_NE(packed, 0u);
+    Timestamp a = packed >> 32;
+    Timestamp o = packed & 0xffffffffull;
+    auto sel = csr.SelectSnapshot(
+        a, [&] { return other_clock.load(std::memory_order_relaxed); });
+    ASSERT_TRUE(sel.ok()) << "frontier mapping cannot be below the floor";
+    EXPECT_EQ(*sel, o);
+    exact_hits.fetch_add(1, std::memory_order_relaxed);
+  }
   stop.store(true, std::memory_order_release);
   for (size_t t = kCommitters; t < threads.size(); ++t) threads[t].join();
 
