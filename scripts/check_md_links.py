@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Markdown link + anchor checker for the repo's documentation.
+
+Walks every tracked-directory ``*.md`` file (repo root, ``docs/``,
+``bench/``, ``scripts/``, ``tests/``, ``src/``, ``examples/``) and fails if
+
+* a relative link target does not exist on disk,
+* a ``file.md#anchor`` (or intra-file ``#anchor``) link names a heading
+  that file does not define (GitHub anchor-ification: lowercase, strip
+  punctuation, spaces to dashes), or
+* a reference-style link ``[x][ref]`` has no matching ``[ref]:`` definition.
+
+External links (``http://``, ``https://``, ``mailto:``) are *not* fetched —
+CI must not depend on the network — only checked for empty targets.
+
+Usage: scripts/check_md_links.py [repo_root]
+Exit status: 0 clean, 1 broken links (each printed as file:line: message).
+"""
+
+import os
+import re
+import sys
+
+SCAN_DIRS = ["", "docs", "bench", "scripts", "tests", "src", "examples",
+             ".github"]
+INLINE_LINK = re.compile(r"(?<!\!)\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[([^\]]*)\]\(([^)\s]+)\)")
+REF_USE = re.compile(r"\[([^\]]+)\]\[([^\]]*)\]")
+REF_DEF = re.compile(r"^\s*\[([^\]]+)\]:\s*(\S+)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor id transformation (close enough)."""
+    text = re.sub(r"[`*_~]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_files(root: str):
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d) if d else root
+        if not os.path.isdir(base):
+            continue
+        if d:
+            for dirpath, dirnames, filenames in os.walk(base):
+                dirnames[:] = [x for x in dirnames
+                               if x not in ("build", ".git", "CMakeFiles")]
+                for f in filenames:
+                    if f.endswith(".md"):
+                        yield os.path.join(dirpath, f)
+        else:
+            for f in os.listdir(base):
+                if f.endswith(".md"):
+                    yield os.path.join(base, f)
+
+
+def collect_anchors(path: str):
+    anchors, counts = set(), {}
+    in_fence = False
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError:
+        return anchors
+    for line in lines:
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if m:
+            a = github_anchor(m.group(2))
+            n = counts.get(a, 0)
+            counts[a] = n + 1
+            anchors.add(a if n == 0 else f"{a}-{n}")
+    return anchors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = sorted(set(md_files(root)))
+    anchor_cache = {}
+    errors = []
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = collect_anchors(path)
+        return anchor_cache[path]
+
+    for path in files:
+        rel = os.path.relpath(path, root)
+        try:
+            lines = open(path, encoding="utf-8").read().splitlines()
+        except OSError as e:
+            errors.append(f"{rel}:0: unreadable: {e}")
+            continue
+        ref_defs = {m.group(1).lower()
+                    for line in lines if (m := REF_DEF.match(line))}
+        in_fence = False
+        for ln, line in enumerate(lines, 1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            targets = [m.group(2) for m in INLINE_LINK.finditer(line)]
+            targets += [m.group(2) for m in IMAGE_LINK.finditer(line)]
+            for target in targets:
+                if not target:
+                    errors.append(f"{rel}:{ln}: empty link target")
+                    continue
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    if github_anchor(target[1:]) not in anchors_of(path) \
+                            and target[1:] not in anchors_of(path):
+                        errors.append(
+                            f"{rel}:{ln}: no heading for anchor '{target}'")
+                    continue
+                frag = None
+                if "#" in target:
+                    target, frag = target.split("#", 1)
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(dest):
+                    errors.append(f"{rel}:{ln}: missing file '{target}'")
+                    continue
+                if frag is not None and dest.endswith(".md"):
+                    if github_anchor(frag) not in anchors_of(dest) \
+                            and frag not in anchors_of(dest):
+                        errors.append(
+                            f"{rel}:{ln}: no heading for anchor "
+                            f"'{target}#{frag}'")
+            for m in REF_USE.finditer(line):
+                ref = (m.group(2) or m.group(1)).lower()
+                if ref and ref not in ref_defs:
+                    # Tolerate literal bracket text like [vmin, vmax][...]
+                    if re.fullmatch(r"[\w\- ]+", ref):
+                        errors.append(
+                            f"{rel}:{ln}: undefined link reference "
+                            f"'[{ref}]'")
+
+    for e in errors:
+        print(e)
+    print(f"check_md_links: {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,18 @@ if doc["bench"] == "ablation_commit":
     assert all(v == 0 for v in sync_wakes), \
         f"sync mode issued completion wakeups: {sync_wakes}"
     print(f"  OK wakeup fields: {len(wake)} wakeup + {len(parks)} park points")
+if doc["bench"] == "ablation_csr":
+    # The lock-free read-path matrix feeds the reclamation perf trajectory
+    # (docs/RECLAMATION.md); its hit-ratio rows must all be present with
+    # sane Mops/s values.
+    mops = [p for p in doc["points"] if "SelectSnapshot" in p["matrix"]]
+    assert mops, "no read-path points in BENCH_ablation_csr.json"
+    rows = {p["row"] for p in mops}
+    expected_rows = {"100% hit", "90% hit", "50% hit"}
+    assert rows == expected_rows, f"read-path rows {rows} != {expected_rows}"
+    for p in mops:
+        assert 0 < p["value"] < 1e4, f"absurd Mops/s value {p}"
+    print(f"  OK read-path matrix: {len(mops)} points")
 print(f"  OK {sys.argv[1]}: {len(doc['points'])} points")
 EOF
   else

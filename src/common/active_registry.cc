@@ -1,25 +1,20 @@
 #include "common/active_registry.h"
 
-#include <unordered_set>
+#include "common/thread_slot_registry.h"
 
 namespace skeena {
 
 namespace {
 
-// Liveness registry so thread-exit spill-back never touches a destroyed
-// registry (same pattern as EpochManager's thread slots). Touched only at
-// registry/thread birth and death — never on the Acquire/Release hot path.
-std::mutex& LiveRegistriesMu() {
-  static std::mutex mu;
-  return mu;
+// Liveness domain so thread-exit spill-back never touches a destroyed
+// registry (shared protocol with EpochManager — see
+// common/thread_slot_registry.h). Touched only at registry/thread birth
+// and death — never on the Acquire/Release hot path. Deliberately leaked:
+// thread destructors may run after static destructors.
+ThreadSlotDomain& RegistryDomain() {
+  static auto* domain = new ThreadSlotDomain();
+  return *domain;
 }
-
-std::unordered_set<const ActiveSnapshotRegistry*>& LiveRegistries() {
-  static auto* set = new std::unordered_set<const ActiveSnapshotRegistry*>();
-  return *set;
-}
-
-std::atomic<uint64_t> g_registry_gen{1};
 
 }  // namespace
 
@@ -28,35 +23,27 @@ std::atomic<uint64_t> g_registry_gen{1};
 /// spilled back to their registry (if it is still alive), so thread churn
 /// never strands claimed slots.
 struct ThreadSlotCaches {
-  struct Entry {
-    ActiveSnapshotRegistry* registry;
-    uint64_t gen;
-    std::vector<size_t> free_slots;
-  };
-  std::vector<Entry> entries;
+  ThreadSlotEntries<ActiveSnapshotRegistry, std::vector<size_t>> entries;
+
+  using Entry =
+      ThreadSlotEntries<ActiveSnapshotRegistry, std::vector<size_t>>::Entry;
 
   static constexpr size_t kMaxEntries = 64;
 
   std::vector<size_t>& For(ActiveSnapshotRegistry* reg, uint64_t gen) {
-    for (auto& e : entries) {
-      if (e.registry == reg && e.gen == gen) return e.free_slots;
-    }
+    if (Entry* e = entries.Find(reg, gen)) return e->payload;
     if (entries.size() >= kMaxEntries) Prune();
-    entries.push_back(Entry{reg, gen, {}});
-    return entries.back().free_slots;
+    return entries.Add(reg, gen, {}).payload;
   }
 
   void Prune() {
-    std::lock_guard<std::mutex> lock(LiveRegistriesMu());
-    for (auto& e : entries) {
-      if (e.free_slots.empty()) continue;
-      if (LiveRegistries().count(e.registry) != 0 &&
-          e.registry->gen_ == e.gen) {
-        e.registry->SpillSlots(std::move(e.free_slots));
-      }
-      e.free_slots.clear();
-    }
-    entries.clear();
+    entries.Evict(
+        RegistryDomain(), [](const Entry&) { return false; },
+        [](Entry& e) {
+          if (!e.payload.empty()) {
+            e.owner->SpillSlots(std::move(e.payload));
+          }
+        });
   }
 
   ~ThreadSlotCaches() { Prune(); }
@@ -71,16 +58,10 @@ ThreadSlotCaches& TlsCaches() {
 
 ActiveSnapshotRegistry::ActiveSnapshotRegistry(size_t initial_slots)
     : chunk_size_(initial_slots == 0 ? 1 : initial_slots),
-      gen_(g_registry_gen.fetch_add(1, std::memory_order_relaxed)) {
-  std::lock_guard<std::mutex> lock(LiveRegistriesMu());
-  LiveRegistries().insert(this);
-}
+      gen_(RegistryDomain().RegisterOwner(this)) {}
 
 ActiveSnapshotRegistry::~ActiveSnapshotRegistry() {
-  {
-    std::lock_guard<std::mutex> lock(LiveRegistriesMu());
-    LiveRegistries().erase(this);
-  }
+  RegistryDomain().UnregisterOwner(this);
   for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
 }
 

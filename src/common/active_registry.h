@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/spin_latch.h"
@@ -13,14 +14,20 @@
 namespace skeena {
 
 /// Tracks the snapshots in use by active transactions so garbage collectors
-/// (memdb version pruning, CSR partition recycling — paper Section 4.4) can
-/// compute the oldest snapshot still needed.
+/// (memdb version pruning, stordb undo purge, CSR partition recycling —
+/// paper Section 4.4) can compute the oldest snapshot still needed.
 ///
 /// Registration protocol: the registrant stores kAcquiringSentinel, *then*
 /// reads the engine clock, then stores the snapshot. A concurrent
-/// MinActive() that observes the sentinel may safely ignore that slot: the
-/// registrant's eventual snapshot is drawn from the clock *after* the scan
-/// began, so it can never be older than the minimum the scan computes.
+/// MinActive() that observes the sentinel *waits it out* (the window is a
+/// clock load plus one store; spinning keeps the scan exact): once the slot
+/// resolves, the scan either sees the registered snapshot, or — if the slot
+/// went back to empty — the registration it raced published *after* the
+/// scan's load, so its snapshot was drawn from the clock after the scan's
+/// fallback read and cannot undercut the minimum the scan returns. (The
+/// previous protocol ignored sentinel slots outright; that leaves a hole
+/// when the registrant read the clock before the scan began but its
+/// snapshot store had not yet landed — see docs/RECLAMATION.md.)
 ///
 /// Slot management is latch-free on the per-transaction path:
 ///  * Acquire()/Release() recycle slots through a thread-local cache (one
@@ -90,7 +97,20 @@ class ActiveSnapshotRegistry {
     SlotRef(slot).store(kAcquiringSentinel, std::memory_order_seq_cst);
   }
 
+  /// Publishes the registrant's snapshot. `kMaxTimestamp` is reserved as
+  /// the acquiring sentinel and can never be registered as a real
+  /// snapshot — MinActive() waits on sentinel slots, so letting one
+  /// through would turn a long-lived registration into a permanent GC
+  /// spin; callers wanting "latest / unconstrained" must resolve it to a
+  /// concrete clock value first (the engines do). Hard failure in every
+  /// build type, mirroring ClaimSlot's capacity check.
   void SetSnapshot(size_t slot, Timestamp snap) {
+    if (snap == kAcquiringSentinel) {
+      std::fprintf(stderr,
+                   "ActiveSnapshotRegistry: kMaxTimestamp is the acquiring "
+                   "sentinel and cannot be registered as a snapshot\n");
+      std::abort();
+    }
     SlotRef(slot).store(snap, std::memory_order_seq_cst);
   }
 
@@ -99,7 +119,14 @@ class ActiveSnapshotRegistry {
   }
 
   /// Oldest snapshot of any registered transaction, or `fallback` when none
-  /// is active. Slots in the acquiring state are ignored (see class docs).
+  /// is active. Slots mid-registration are waited out (see class docs), so
+  /// the result is a true lower bound on every snapshot registered before
+  /// the corresponding slot read — the property the engines' single GC
+  /// floors rely on. `fallback` must be read from the engine clock *before*
+  /// calling (pass-by-value does this naturally at the call site).
+  ///
+  /// Cold path (GC floor advances, CSR recycling); may briefly spin but
+  /// never blocks on a lock and requires no epoch pin.
   Timestamp MinActive(Timestamp fallback) const {
     Timestamp min = kMaxTimestamp;
     size_t limit = next_slot_.load(std::memory_order_acquire);
@@ -110,8 +137,22 @@ class ActiveSnapshotRegistry {
         chunk_idx = i / chunk_size_;
         chunk = chunks_[chunk_idx].load(std::memory_order_acquire);
       }
-      Timestamp v = chunk[i % chunk_size_].value.load(std::memory_order_seq_cst);
-      if (v == kEmpty || v == kAcquiringSentinel) continue;
+      const std::atomic<Timestamp>& slot = chunk[i % chunk_size_].value;
+      Timestamp v = slot.load(std::memory_order_seq_cst);
+      // Wait out in-flight registrations: the window is one clock load plus
+      // one store on the registrant, but ignoring it would let a registrant
+      // that read the clock before our caller read `fallback` slip under
+      // the returned minimum. Yield occasionally in case the registrant
+      // thread is preempted mid-window on a loaded machine.
+      for (uint32_t spins = 0; v == kAcquiringSentinel;
+           v = slot.load(std::memory_order_seq_cst)) {
+        if (++spins % 1024 == 0) {
+          std::this_thread::yield();
+        } else {
+          CpuRelax();
+        }
+      }
+      if (v == kEmpty) continue;
       if (v < min) min = v;
     }
     return min == kMaxTimestamp ? fallback : min;

@@ -2,58 +2,46 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <unordered_set>
+
+#include "common/thread_slot_registry.h"
 
 namespace skeena {
 
 namespace {
 
-// Liveness registry so thread-exit cleanup never touches a destroyed
-// manager. Touched only at manager/thread birth and death — never on the
-// Enter/Exit hot path.
-std::mutex& LiveManagersMu() {
-  static std::mutex mu;
-  return mu;
+// Liveness domain so thread-exit cleanup never touches a destroyed manager
+// (shared protocol with ActiveSnapshotRegistry — see
+// common/thread_slot_registry.h). Touched only at manager/thread birth and
+// death — never on the Enter/Exit hot path. Deliberately leaked: thread
+// destructors may run after static destructors.
+ThreadSlotDomain& EpochDomain() {
+  static auto* domain = new ThreadSlotDomain();
+  return *domain;
 }
-
-std::unordered_set<const EpochManager*>& LiveManagers() {
-  static auto* set = new std::unordered_set<const EpochManager*>();
-  return *set;
-}
-
-std::atomic<uint64_t> g_manager_gen{1};
 
 }  // namespace
 
-/// Per-thread view of one manager: the claimed slot and the guard nesting
-/// depth. Depth is thread-private; only the outermost Enter/Exit publishes
-/// to the shared slot.
-struct ThreadEpochState {
-  struct Entry {
-    EpochManager* mgr;
-    uint64_t gen;
-    size_t slot;
-    uint32_t depth;
-  };
-  std::vector<Entry> entries;
+// Per-manager payload cached by a thread: the claimed slot and the guard
+// nesting depth. Depth is thread-private; only the outermost Enter/Exit
+// publishes to the shared slot. (Named, not anonymous-namespace, so the
+// externally declared ThreadEpochState has no internal-linkage subobject.)
+struct SlotAndDepth {
+  size_t slot;
+  uint32_t depth;
+};
 
-  Entry* Find(EpochManager* mgr, uint64_t gen) {
-    for (auto& e : entries) {
-      if (e.mgr == mgr && e.gen == gen) return &e;
-    }
-    return nullptr;
-  }
+/// Per-thread view of the managers this thread has entered. On thread exit
+/// every claimed slot is handed back (liveness-checked, so manager
+/// teardown is safe and address reuse by a younger manager cannot alias).
+struct ThreadEpochState {
+  ThreadSlotEntries<EpochManager, SlotAndDepth> entries;
+
+  using Entry = ThreadSlotEntries<EpochManager, SlotAndDepth>::Entry;
 
   ~ThreadEpochState() {
-    std::lock_guard<std::mutex> lock(LiveManagersMu());
-    for (auto& e : entries) {
-      // Both checks matter: the address may have been reused by a younger
-      // manager (same pointer, different gen), whose slots we must not
-      // touch.
-      if (LiveManagers().count(e.mgr) != 0 && e.mgr->gen_ == e.gen) {
-        e.mgr->ReleaseSlot(e.slot);
-      }
-    }
+    entries.Evict(
+        EpochDomain(), [](const Entry&) { return false; },
+        [](Entry& e) { e.owner->ReleaseSlot(e.payload.slot); });
   }
 
   // Caps the per-thread entry list: a thread that churns through managers
@@ -61,18 +49,9 @@ struct ThreadEpochState {
   // and Enter()'s linear scan — without bound. Entries inside a guard
   // (depth > 0) are always kept; idle entries hand their slot back.
   void Prune() {
-    std::lock_guard<std::mutex> lock(LiveManagersMu());
-    size_t kept = 0;
-    for (auto& e : entries) {
-      if (e.depth > 0) {
-        entries[kept++] = e;
-        continue;
-      }
-      if (LiveManagers().count(e.mgr) != 0 && e.mgr->gen_ == e.gen) {
-        e.mgr->ReleaseSlot(e.slot);
-      }
-    }
-    entries.resize(kept);
+    entries.Evict(
+        EpochDomain(), [](const Entry& e) { return e.payload.depth > 0; },
+        [](Entry& e) { e.owner->ReleaseSlot(e.payload.slot); });
   }
 };
 
@@ -83,16 +62,10 @@ ThreadEpochState& TlsState() {
 }
 }  // namespace
 
-EpochManager::EpochManager() : gen_(g_manager_gen.fetch_add(1)) {
-  std::lock_guard<std::mutex> lock(LiveManagersMu());
-  LiveManagers().insert(this);
-}
+EpochManager::EpochManager() : gen_(EpochDomain().RegisterOwner(this)) {}
 
 EpochManager::~EpochManager() {
-  {
-    std::lock_guard<std::mutex> lock(LiveManagersMu());
-    LiveManagers().erase(this);
-  }
+  EpochDomain().UnregisterOwner(this);
   // Contract: no reader is pinned anymore, so everything in limbo is
   // unreachable and can be freed immediately.
   for (const LimboEntry& e : limbo_) e.deleter(e.ptr);
@@ -137,15 +110,14 @@ void EpochManager::ReleaseSlot(size_t slot) {
 
 void EpochManager::Enter() {
   ThreadEpochState& tls = TlsState();
-  ThreadEpochState::Entry* e = tls.Find(this, gen_);
+  ThreadEpochState::Entry* e = tls.entries.Find(this, gen_);
   if (e == nullptr) {
     constexpr size_t kMaxIdleEntries = 64;
     if (tls.entries.size() >= kMaxIdleEntries) tls.Prune();
-    tls.entries.push_back({this, gen_, AcquireSlot(), 0});
-    e = &tls.entries.back();
+    e = &tls.entries.Add(this, gen_, SlotAndDepth{AcquireSlot(), 0});
   }
-  if (e->depth++ != 0) return;  // nested guard: already pinned
-  std::atomic<uint64_t>& slot = SlotState(e->slot);
+  if (e->payload.depth++ != 0) return;  // nested guard: already pinned
+  std::atomic<uint64_t>& slot = SlotState(e->payload.slot);
   // Pin, then re-check the global epoch: if it moved between the load and
   // the store we would otherwise stay pinned to a stale epoch and stall
   // advancing for as long as the guard lives.
@@ -160,10 +132,10 @@ void EpochManager::Enter() {
 }
 
 void EpochManager::Exit() {
-  ThreadEpochState::Entry* e = TlsState().Find(this, gen_);
-  if (e == nullptr || e->depth == 0) return;  // unmatched Exit: ignore
-  if (--e->depth == 0) {
-    SlotState(e->slot).store(0, std::memory_order_release);
+  ThreadEpochState::Entry* e = TlsState().entries.Find(this, gen_);
+  if (e == nullptr || e->payload.depth == 0) return;  // unmatched: ignore
+  if (--e->payload.depth == 0) {
+    SlotState(e->payload.slot).store(0, std::memory_order_release);
   }
 }
 

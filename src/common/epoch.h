@@ -37,6 +37,10 @@ namespace skeena {
 /// Destruction contract: no thread may be inside an EpochGuard of this
 /// manager when it is destroyed; the destructor then frees every remaining
 /// limbo entry unconditionally.
+///
+/// One manager is the database-wide reclamation domain: the CSR's RCU
+/// partition lists, memdb version chains and stordb undo batches all
+/// retire through the Database-owned instance (docs/RECLAMATION.md).
 class EpochManager {
  public:
   EpochManager();
@@ -45,27 +49,51 @@ class EpochManager {
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
-  /// Pins the calling thread to the current epoch. Nests; prefer EpochGuard.
+  /// Pins the calling thread to the current epoch. Nests; prefer
+  /// EpochGuard.
+  ///
+  /// Pin preconditions: a pinned thread stalls reclamation for the whole
+  /// domain, so the critical section must be short and must NOT span a
+  /// blocking wait the thread does not control (lock acquisition, page
+  /// I/O, commit waits, user callbacks — the PR-2 review bug class).
+  /// First Enter() on a thread claims a slot under a mutex (cold path);
+  /// later Enter/Exit pairs touch only thread-private state plus one
+  /// padded slot.
   void Enter();
+  /// Unpins (outermost Exit of the nest). Safe to call without a matching
+  /// Enter (ignored).
   void Exit();
 
   /// Defers `delete p` until no pinned reader can still reference it.
+  /// `p` must already be unlinked — unreachable for readers entering a new
+  /// critical section. Callable pinned or unpinned; internally drives
+  /// TryAdvance(), so it may run ripe deleters synchronously on this
+  /// thread — do not retire while holding a latch a deleter's destructor
+  /// could need (the in-tree deleters are plain frees).
   template <typename T>
   void Retire(T* p) {
     RetireRaw(p, [](void* q) { delete static_cast<T*>(q); });
   }
+  /// Type-erased Retire: `deleter(p)` runs after the grace period. Same
+  /// preconditions as Retire().
   void RetireRaw(void* p, void (*deleter)(void*));
 
   /// Attempts one epoch advance and frees everything whose grace period has
   /// passed. Returns the number of objects freed. Non-blocking: returns 0
-  /// if another thread is already advancing.
+  /// if another thread is already advancing. Callable while pinned (the
+  /// caller's own slot is current by construction), but a thread that
+  /// stays pinned caps progress at one advance — drive it from unpinned
+  /// maintenance points (GC floor advances, commit triggers) for steady
+  /// drain.
   size_t TryAdvance();
 
+  /// Current global epoch (diagnostic; no pin required).
   uint64_t GlobalEpoch() const {
     return global_epoch_.load(std::memory_order_seq_cst);
   }
 
-  /// Objects retired but not yet freed (test/diagnostic hook).
+  /// Objects retired but not yet freed (test/diagnostic hook; takes the
+  /// limbo mutex, call unpinned from cold paths only).
   size_t RetiredCount() const;
   /// Objects freed over the manager's lifetime (test/diagnostic hook).
   uint64_t FreedCount() const {
@@ -110,6 +138,12 @@ class EpochManager {
 };
 
 /// RAII pin on an EpochManager. Nestable and re-entrant per thread.
+///
+/// Scope discipline (see EpochManager::Enter): one traversal plus the use
+/// of what it found — copy values out and drop the guard before invoking
+/// anything that can block (user callbacks, I/O, lock waits). Holding a
+/// guard across a blocking wait stalls epoch advancement and therefore
+/// all reclamation in the domain.
 class EpochGuard {
  public:
   explicit EpochGuard(EpochManager& mgr) : mgr_(&mgr) { mgr_->Enter(); }

@@ -52,6 +52,21 @@ struct alignas(64) Padded {
   T value{};
 };
 
+/// Monotone CAS-max: raises `target` to at least `value` and returns the
+/// resulting maximum (never less than either input). Idempotent across
+/// racing callers — the shared helper behind the engines' GC floors and
+/// the ShardedCounter fold cache, so the loop's subtleties live once.
+template <typename T>
+inline T AtomicFetchMax(std::atomic<T>& target, T value,
+                        std::memory_order success_order) {
+  T cur = target.load(std::memory_order_relaxed);
+  while (cur < value && !target.compare_exchange_weak(
+                            cur, value, success_order,
+                            std::memory_order_relaxed)) {
+  }
+  return cur < value ? value : cur;
+}
+
 }  // namespace skeena
 
 #endif  // SKEENA_COMMON_SPIN_LATCH_H_

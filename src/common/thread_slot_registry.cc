@@ -1,0 +1,22 @@
+#include "common/thread_slot_registry.h"
+
+namespace skeena {
+
+uint64_t ThreadSlotDomain::RegisterOwner(const void* owner) {
+  uint64_t gen = next_gen_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[owner] = gen;
+  return gen;
+}
+
+void ThreadSlotDomain::UnregisterOwner(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(owner);
+}
+
+bool ThreadSlotDomain::IsLiveLocked(const void* owner, uint64_t gen) const {
+  auto it = live_.find(owner);
+  return it != live_.end() && it->second == gen;
+}
+
+}  // namespace skeena

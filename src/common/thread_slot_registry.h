@@ -1,0 +1,137 @@
+#ifndef SKEENA_COMMON_THREAD_SLOT_REGISTRY_H_
+#define SKEENA_COMMON_THREAD_SLOT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace skeena {
+
+/// Shared lifetime protocol for objects that hand per-thread resources
+/// ("slots") to threads through thread-local caches — the pattern used by
+/// both `EpochManager` (epoch slots) and `ActiveSnapshotRegistry` (snapshot
+/// slots). Extracting it here keeps the two protocols structurally
+/// identical, so a fix to one cannot silently miss the other.
+///
+/// Two lifetime hazards arise whenever threads cache owner resources:
+///
+///  1. **Thread exits first.** Its cached resources must be handed back to
+///     the owner, or thread churn leaks slots until the owner's capacity
+///     aborts.
+///  2. **Owner dies first.** The thread-exit cleanup must NOT touch the
+///     dead owner — and the owner's address may since have been reused by a
+///     *younger* owner of the same class, whose slots must not be touched
+///     either.
+///
+/// `ThreadSlotDomain` solves both with one liveness map (owner → process-
+/// unique generation): owners register at construction and unregister at
+/// destruction; thread-exit cleanup runs only `IfLive(owner, gen)`, under
+/// the domain mutex, so an owner can never be destroyed mid-cleanup.
+///
+/// Usage: one (deliberately leaked) domain per owner class,
+///
+///     ThreadSlotDomain& MyDomain() {
+///       static auto* d = new ThreadSlotDomain();  // leaked: thread-exit
+///       return *d;                                // cleanup may run after
+///     }                                           // static destructors
+///
+/// plus one `thread_local ThreadSlotEntries<Owner, Payload>` holding the
+/// per-thread caches, evicted through the domain on thread exit.
+///
+/// Epoch/pin preconditions: none of these methods may be called while the
+/// calling thread holds a lock the owner's cleanup callback also takes
+/// (lock order is always domain mutex → owner-internal mutex). They are
+/// cold-path only — owner/thread birth and death — and are safe to call
+/// with or without an `EpochGuard` pinned.
+class ThreadSlotDomain {
+ public:
+  ThreadSlotDomain() = default;
+  ThreadSlotDomain(const ThreadSlotDomain&) = delete;
+  ThreadSlotDomain& operator=(const ThreadSlotDomain&) = delete;
+
+  /// Marks `owner` live and returns its process-unique generation. Call
+  /// from the owner's constructor, before any thread can cache entries.
+  uint64_t RegisterOwner(const void* owner);
+
+  /// Removes `owner` from the liveness map. Call first thing in the
+  /// owner's destructor: after return, no `IfLive` body can be running or
+  /// start for it, so the rest of the destructor may tear down freely.
+  void UnregisterOwner(const void* owner);
+
+  /// Runs `fn()` under the domain mutex iff (owner, gen) is still
+  /// registered; returns whether it ran. `fn` may call back into the owner
+  /// (e.g. hand slots back) but must not re-enter the domain.
+  template <typename Fn>
+  bool IfLive(const void* owner, uint64_t gen, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!IsLiveLocked(owner, gen)) return false;
+    fn();
+    return true;
+  }
+
+ private:
+  bool IsLiveLocked(const void* owner, uint64_t gen) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<const void*, uint64_t> live_;
+  std::atomic<uint64_t> next_gen_{1};
+};
+
+/// The thread-local half of the protocol: a small per-thread list mapping
+/// (owner, gen) to a cached payload (an epoch slot + nesting depth, a
+/// free-slot list, ...). Bounded: callers evict through `Evict` before
+/// growing past their cap, and evict everything at thread exit.
+///
+/// Not thread-safe — each instance is `thread_local` by construction.
+template <typename Owner, typename Payload>
+class ThreadSlotEntries {
+ public:
+  struct Entry {
+    Owner* owner;
+    uint64_t gen;
+    Payload payload;
+  };
+
+  /// Linear scan (the list holds at most the eviction cap, and the hot
+  /// entry is almost always among the first few).
+  Entry* Find(Owner* owner, uint64_t gen) {
+    for (auto& e : entries_) {
+      if (e.owner == owner && e.gen == gen) return &e;
+    }
+    return nullptr;
+  }
+
+  Entry& Add(Owner* owner, uint64_t gen, Payload payload) {
+    entries_.push_back(Entry{owner, gen, std::move(payload)});
+    return entries_.back();
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Evicts every entry for which `keep(entry)` is false: runs
+  /// `cleanup(entry)` iff the owner is still live in `domain` (checked and
+  /// run under the domain mutex, per entry), then drops the entry. Call
+  /// with `keep` ≡ false from the thread-exit destructor, or with a
+  /// "still in use" predicate when pruning a full list.
+  template <typename Keep, typename Cleanup>
+  void Evict(ThreadSlotDomain& domain, Keep keep, Cleanup cleanup) {
+    size_t kept = 0;
+    for (auto& e : entries_) {
+      if (keep(e)) {
+        entries_[kept++] = std::move(e);
+        continue;
+      }
+      domain.IfLive(e.owner, e.gen, [&] { cleanup(e); });
+    }
+    entries_.resize(kept);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_COMMON_THREAD_SLOT_REGISTRY_H_

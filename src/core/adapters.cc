@@ -24,8 +24,9 @@ stordb::StorTxn* AsStor(SubTxn* sub) {
 // ---------------------------------------------------------- MemEngineAdapter
 
 MemEngineAdapter::MemEngineAdapter(std::unique_ptr<StorageDevice> log_device,
-                                   memdb::MemEngine::Options options)
-    : engine_(std::move(log_device), options) {}
+                                   memdb::MemEngine::Options options,
+                                   EpochManager* epoch)
+    : engine_(std::move(log_device), options, epoch) {}
 
 TableId MemEngineAdapter::CreateTable(const std::string& name,
                                       size_t max_value_size) {
@@ -118,8 +119,8 @@ const StorageDevice* MemEngineAdapter::LogDevice() const {
 
 StorEngineAdapter::StorEngineAdapter(
     std::unique_ptr<StorageDevice> log_device,
-    stordb::StorEngine::Options options)
-    : engine_(std::move(log_device), options) {}
+    stordb::StorEngine::Options options, EpochManager* epoch)
+    : engine_(std::move(log_device), options, epoch) {}
 
 TableId StorEngineAdapter::CreateTable(const std::string& name,
                                        size_t max_value_size) {

@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "common/epoch.h"
 #include "core/engine_iface.h"
 #include "memdb/mem_engine.h"
 #include "stordb/stor_engine.h"
@@ -16,8 +17,11 @@ namespace skeena {
 /// begin reads the clock.
 class MemEngineAdapter : public EngineIface {
  public:
+  /// `epoch` is the shared reclamation domain threaded into the engine
+  /// (the database-owned manager); null lets the engine own a private one.
   MemEngineAdapter(std::unique_ptr<StorageDevice> log_device,
-                   memdb::MemEngine::Options options);
+                   memdb::MemEngine::Options options,
+                   EpochManager* epoch = nullptr);
 
   EngineKind kind() const override { return EngineKind::kMem; }
 
@@ -63,8 +67,11 @@ class MemEngineAdapter : public EngineIface {
 /// read view (paper Section 5).
 class StorEngineAdapter : public EngineIface {
  public:
+  /// `epoch` is the shared reclamation domain threaded into the engine
+  /// (the database-owned manager); null lets the engine own a private one.
   StorEngineAdapter(std::unique_ptr<StorageDevice> log_device,
-                    stordb::StorEngine::Options options);
+                    stordb::StorEngine::Options options,
+                    EpochManager* epoch = nullptr);
 
   EngineKind kind() const override { return EngineKind::kStor; }
 

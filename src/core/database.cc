@@ -39,12 +39,14 @@ Database::Database(DatabaseOptions options)
         };
   }
 
+  // Both engines share the database-owned epoch domain, so one grace
+  // period covers CSR partition lists, memdb versions and stordb undos.
   mem_owned_ = std::make_unique<MemEngineAdapter>(
       MakeDevice(options_.data_dir, "mem.log", options_.log_latency),
-      options_.mem);
+      options_.mem, &epoch_);
   stor_owned_ = std::make_unique<StorEngineAdapter>(
       MakeDevice(options_.data_dir, "stor.log", options_.log_latency),
-      options_.stor);
+      options_.stor, &epoch_);
   mem_ = mem_owned_.get();
   stor_ = stor_owned_.get();
   engines_[static_cast<int>(EngineKind::kMem)] = mem_;

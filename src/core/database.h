@@ -119,6 +119,14 @@ class Database {
   void LoadCatalog();
 
   DatabaseOptions options_;
+
+  // The database-wide reclamation domain: CSR partition lists, memdb
+  // version chains and stordb undo batches all retire through this one
+  // manager (docs/RECLAMATION.md). Declared first so it is destroyed last
+  // — after the CSR and both engines have stopped retiring into it — and
+  // then drains its limbo.
+  EpochManager epoch_;
+
   std::unique_ptr<MemEngineAdapter> mem_owned_;
   std::unique_ptr<StorEngineAdapter> stor_owned_;
   MemEngineAdapter* mem_;
@@ -126,10 +134,6 @@ class Database {
   EngineIface* engines_[kNumEngines];
   int anchor_index_;
 
-  // Reclamation domain for the CSR's RCU-published partition lists (and
-  // any future epoch-protected structure). Declared before csr_ so the
-  // registry is destroyed first and the manager then drains its limbo.
-  EpochManager epoch_;
   SnapshotRegistry csr_;
   ActiveSnapshotRegistry anchor_registry_;
   std::unique_ptr<CommitPipeline> pipeline_;

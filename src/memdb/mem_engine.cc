@@ -10,8 +10,14 @@
 namespace skeena::memdb {
 
 MemEngine::MemEngine(std::unique_ptr<StorageDevice> log_device,
-                     Options options)
+                     Options options, EpochManager* epoch)
     : options_(options), active_(options.max_concurrent_txns) {
+  if (epoch == nullptr) {
+    owned_epoch_ = std::make_unique<EpochManager>();
+    epoch_ = owned_epoch_.get();
+  } else {
+    epoch_ = epoch;
+  }
   if (options_.enable_logging) {
     log_ = std::make_unique<LogManager>(std::move(log_device), options_.log);
   }
@@ -42,39 +48,50 @@ MemTable* MemEngine::GetTableByName(const std::string& name) const {
 
 std::unique_ptr<MemTxn> MemEngine::Begin(IsolationLevel iso,
                                          Timestamp snapshot) {
+  // kMaxTimestamp means "latest" like kInvalidTimestamp (the adapter's
+  // convention); it must never reach the registry, where it is the
+  // acquiring sentinel.
+  bool pinned =
+      snapshot != kInvalidTimestamp && snapshot != kMaxTimestamp;
+  // A pinned (coordinator-chosen) snapshot below the GC floor cannot be
+  // served: versions it needs may already be unlinked. The floor cannot
+  // move past a snapshot the CSR could still select (the coordinator's
+  // GC-horizon provider bounds every floor advance), so this check only
+  // fires for snapshots that were stale at selection time — no
+  // register-then-validate ordering is needed.
+  if (pinned && snapshot < gc_floor_.load(std::memory_order_seq_cst)) {
+    return nullptr;
+  }
   size_t slot = active_.Acquire();
   active_.BeginAcquire(slot);
-  bool pinned = snapshot != kInvalidTimestamp;
   if (!pinned) {
     snapshot = LatestSnapshot();
   }
   active_.SetSnapshot(slot, snapshot);
-  // Validate AFTER registering (seq_cst store then seq_cst load): either
-  // the GC's registry scan already saw this slot, or this load sees the
-  // floor that scan published — so a stale pinned snapshot is always
-  // caught before it can chase pruned versions.
-  if (pinned && snapshot < gc_published_.load(std::memory_order_seq_cst)) {
-    active_.Release(slot);
-    return nullptr;
-  }
   return std::make_unique<MemTxn>(snapshot, iso, slot);
 }
 
 Status MemEngine::RefreshSnapshot(MemTxn* txn, Timestamp snapshot) {
-  bool pinned = snapshot != kInvalidTimestamp;
+  // Same kMaxTimestamp-means-latest convention as Begin.
+  bool pinned =
+      snapshot != kInvalidTimestamp && snapshot != kMaxTimestamp;
+  // Same floor check as Begin; on failure the slot keeps its previous
+  // registration (conservatively holding the floor down) until the caller
+  // aborts the transaction.
+  if (pinned && snapshot < gc_floor_.load(std::memory_order_seq_cst)) {
+    return Status::SkeenaAbort("refresh snapshot predates GC floor");
+  }
   active_.BeginAcquire(txn->registry_slot());
   txn->begin_ts_ = pinned ? snapshot : LatestSnapshot();
   active_.SetSnapshot(txn->registry_slot(), txn->begin_ts_);
-  // Same validate-after-register protocol as Begin. On failure the slot
-  // stays registered (conservatively holding the GC floor down) until the
-  // caller aborts the transaction.
-  if (pinned && snapshot < gc_published_.load(std::memory_order_seq_cst)) {
-    return Status::SkeenaAbort("refresh snapshot predates GC floor");
-  }
   return Status::OK();
 }
 
 Version* MemEngine::ReadVisible(Record* rec, Timestamp snapshot) const {
+  // Caller must hold an EpochGuard on epoch(): the chain is pruned
+  // concurrently (unlink + Retire), and the pin is what keeps an unlinked
+  // version mapped while we may still be walking through it.
+  //
   // A committer that drew a commit timestamp <= snapshot necessarily held
   // the record latch before our snapshot was read; wait out any in-flight
   // install so the chain we traverse includes its version.
@@ -100,6 +117,10 @@ Status MemEngine::Get(MemTxn* txn, TableId table, const Key& key,
     return Status::OK();
   }
 
+  // Pin for the chain walk AND the value copy: `v` may be unlinked by a
+  // concurrent committer the moment the walk returns, and only the pin
+  // keeps it out of the epoch limbo's free set until we are done with it.
+  EpochGuard guard(*epoch_);
   Version* v = ReadVisible(rec, txn->begin_ts());
   if (txn->isolation() == IsolationLevel::kSerializable) {
     txn->AddRead(rec, rec->head.load(std::memory_order_acquire));
@@ -156,13 +177,21 @@ Status MemEngine::Scan(
       if (!cb(key, entry.value)) return false;
       return limit == 0 || delivered < limit;
     }
-    Version* v = ReadVisible(rec, txn->begin_ts());
-    if (txn->isolation() == IsolationLevel::kSerializable) {
-      txn->AddRead(rec, rec->head.load(std::memory_order_acquire));
+    // Pin per row, and copy the value out before invoking the (possibly
+    // blocking) user callback — an EpochGuard must never be held across a
+    // wait we do not control.
+    std::string row;
+    {
+      EpochGuard guard(*epoch_);
+      Version* v = ReadVisible(rec, txn->begin_ts());
+      if (txn->isolation() == IsolationLevel::kSerializable) {
+        txn->AddRead(rec, rec->head.load(std::memory_order_acquire));
+      }
+      if (v == nullptr || v->tombstone) return true;
+      row = v->value;
     }
-    if (v == nullptr || v->tombstone) return true;
     delivered++;
-    if (!cb(key, v->value)) return false;
+    if (!cb(key, row)) return false;
     return limit == 0 || delivered < limit;
   });
   return Status::OK();
@@ -257,10 +286,25 @@ Status MemEngine::PreCommit(MemTxn* txn, GlobalTxnId gtid,
   return Status::OK();
 }
 
+namespace {
+// Typed deleter for a whole unlinked version sub-chain: one limbo entry
+// per prune instead of one per version.
+void DeleteVersionChain(void* p) {
+  auto* v = static_cast<Version*>(p);
+  while (v != nullptr) {
+    Version* next = v->next;
+    delete v;
+    v = next;
+  }
+}
+}  // namespace
+
 Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
   assert(txn->state_ == MemTxn::State::kPreCommitted);
 
-  Timestamp horizon = gc_horizon_.load(std::memory_order_acquire);
+  // One floor load per commit; the floor only grows, so a stale value is
+  // merely conservative (prunes less).
+  Timestamp floor = gc_floor_.load(std::memory_order_acquire);
   if (!txn->read_only()) {
     // Log the write images (before the commit record, same log: recovery
     // sees data before commit in FIFO order).
@@ -280,14 +324,21 @@ Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
             encoded.size()));
       }
     }
+    // Unlink prunable sub-chains while latched (the cut must be ordered
+    // against other installs on the record), but retire them only after
+    // the latches drop: RetireRaw drives TryAdvance, which can run every
+    // ripe deleter in the shared domain — arbitrary work that must not
+    // run while readers spin on this transaction's record latches.
+    std::vector<Version*> garbage;
     for (auto& w : txn->writes()) {
       auto* v = new Version{txn->commit_ts_,
                             w.rec->head.load(std::memory_order_relaxed),
                             w.tombstone, std::move(w.value)};
       w.rec->head.store(v, std::memory_order_release);
-      PruneVersions(v, horizon);
+      if (Version* g = PruneVersions(v, floor)) garbage.push_back(g);
     }
     UnlatchWriteSet(txn);
+    for (Version* g : garbage) epoch_->RetireRaw(g, &DeleteVersionChain);
   }
 
   Lsn lsn = 0;
@@ -305,7 +356,7 @@ Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
 
   txn->state_ = MemTxn::State::kCommitted;
   active_.Release(txn->registry_slot());
-  MaybeAdvanceGcHorizon(commit_count_.Increment());
+  MaybeAdvanceGcFloor(commit_count_.Increment());
   return lsn;
 }
 
@@ -320,45 +371,46 @@ void MemEngine::Abort(MemTxn* txn) {
   abort_count_.Add(1);
 }
 
-void MemEngine::PruneVersions(Version* new_head, Timestamp horizon) {
-  // Keep the newest version with cts <= horizon (the version the oldest
-  // active snapshot resolves to); everything strictly older is unreachable.
+Version* MemEngine::PruneVersions(Version* new_head, Timestamp floor) {
+  // Keep the newest version with cts <= floor (the version the oldest
+  // active snapshot resolves to); everything strictly older is unreachable
+  // to every current and future snapshot. Unlink the sub-chain (no new
+  // reader can find it) and hand it back for the caller to retire through
+  // the shared epoch domain once it drops the record latches — readers
+  // already inside the chain hold an EpochGuard, so the memory stays
+  // mapped until they unpin.
   Version* keep = new_head;
-  while (keep != nullptr && keep->cts > horizon) keep = keep->next;
-  if (keep == nullptr) return;
+  while (keep != nullptr && keep->cts > floor) keep = keep->next;
+  if (keep == nullptr) return nullptr;
   Version* garbage = keep->next;
+  if (garbage == nullptr) return nullptr;
   keep->next = nullptr;
   uint64_t n = 0;
-  while (garbage != nullptr) {
-    Version* next = garbage->next;
-    delete garbage;
-    garbage = next;
-    n++;
-  }
-  if (n > 0) pruned_count_.Add(n);
+  for (Version* v = garbage; v != nullptr; v = v->next) n++;
+  pruned_count_.Add(n);
+  return garbage;
 }
 
-void MemEngine::MaybeAdvanceGcHorizon(uint64_t thread_commits) {
+void MemEngine::MaybeAdvanceGcFloor(uint64_t thread_commits) {
   if (options_.gc_interval == 0 ||
       thread_commits % options_.gc_interval != 0) {
     return;
   }
-  std::unique_lock<std::mutex> lock(gc_mu_, std::try_to_lock);
-  if (!lock.owns_lock()) return;  // another committer is advancing
+  std::unique_lock<std::mutex> round(gc_round_mu_, std::try_to_lock);
+  if (!round.owns_lock()) return;  // another committer is advancing
+  // One exact registry scan (MinActive waits out in-flight registrations)
+  // plus the coordinator's bound on what the CSR could still select. Both
+  // are lower bounds on every live and future snapshot, so their min is
+  // safe to prune with AND to validate pinned begins against — one floor,
+  // no published/apply split. The try-lock only dedups concurrent scans
+  // (committers crossing the interval together); it carries no floor
+  // protocol, and CAS-max keeps the advance idempotent regardless.
   Timestamp m = MinActiveSnapshot();
   if (gc_horizon_provider_) m = std::min(m, gc_horizon_provider_());
-  Timestamp pub = gc_published_.load(std::memory_order_seq_cst);
-  // Prune with min(scan, previously published floor): a pinned begin the
-  // scan missed registered after the scan started, and then its floor
-  // check (Begin) is ordered after the publication of `pub` — one of the
-  // two bounds always covers every live snapshot.
-  Timestamp apply = std::min(m, pub);
-  if (apply > gc_horizon_.load(std::memory_order_relaxed)) {
-    gc_horizon_.store(apply, std::memory_order_seq_cst);
-  }
-  if (m > pub) {
-    gc_published_.store(m, std::memory_order_seq_cst);
-  }
+  AtomicFetchMax(gc_floor_, m, std::memory_order_seq_cst);
+  // Retired chains pile up between commits; nudge the epoch so limbo
+  // drains even when nothing else drives TryAdvance.
+  epoch_->TryAdvance();
 }
 
 MemEngine::Stats MemEngine::stats() const {
@@ -429,8 +481,7 @@ Status MemEngine::Recover(const std::set<GlobalTxnId>& excluded) {
     max_cts = std::max(max_cts, buf->cts);
   }
   clock_.store(max_cts, std::memory_order_release);
-  gc_horizon_.store(max_cts, std::memory_order_release);
-  gc_published_.store(max_cts, std::memory_order_release);
+  gc_floor_.store(max_cts, std::memory_order_release);
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/active_registry.h"
+#include "common/epoch.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -32,6 +33,13 @@ namespace skeena::memdb {
 ///  * pre-/post-commit split with buffered writes, so a Skeena commit-check
 ///    failure after pre-commit aborts without any shared-state undo;
 ///  * append-only log with group commit; log-replay recovery.
+///
+/// Version reclamation (docs/RECLAMATION.md) is unified with the CSR's:
+/// readers pin an EpochGuard for each chain traversal, committers unlink
+/// versions older than the engine's single GC floor and retire them through
+/// the shared EpochManager. The floor is min(oldest registered snapshot,
+/// external GC-horizon provider) and only ever advances; pinned
+/// (coordinator-chosen) snapshots below it are rejected at Begin.
 class MemEngine {
  public:
   struct Options {
@@ -41,12 +49,17 @@ class MemEngine {
     /// (observed in paper Section 6.4); kept for fidelity, switchable for
     /// ablations.
     bool log_read_only_commits = true;
-    /// Refresh the cached GC horizon every N commits.
+    /// Advance the GC floor every N commits (per committing thread).
     uint64_t gc_interval = 256;
     size_t max_concurrent_txns = 4096;
   };
 
-  MemEngine(std::unique_ptr<StorageDevice> log_device, Options options);
+  /// `epoch` is the reclamation domain retired versions are freed through;
+  /// pass the database-owned manager so all engines and the CSR share one
+  /// epoch domain. When null (standalone use, tests) the engine owns a
+  /// private one.
+  MemEngine(std::unique_ptr<StorageDevice> log_device, Options options,
+            EpochManager* epoch = nullptr);
   ~MemEngine();
 
   MemEngine(const MemEngine&) = delete;
@@ -64,11 +77,19 @@ class MemEngine {
     return clock_.load(std::memory_order_seq_cst);
   }
 
-  /// Begins a transaction. `snapshot == kInvalidTimestamp` means "latest".
+  /// Begins a transaction. `snapshot == kInvalidTimestamp` (or
+  /// `kMaxTimestamp`, the adapter's "unconstrained" convention) means
+  /// "latest".
   /// A coordinator-chosen (cross-engine) snapshot that has already fallen
   /// below the version-GC floor returns nullptr: the versions it would read
-  /// may be pruned, so the caller must re-select (Skeena treats this like a
-  /// CSR abort and retries with a fresh snapshot).
+  /// may be unlinked, so the caller must re-select (Skeena treats this like
+  /// a CSR abort and retries with a fresh snapshot).
+  ///
+  /// Contract for pinned snapshots: between selecting the snapshot and this
+  /// call, the caller must hold the floor below it through the GC-horizon
+  /// provider (the Database's anchor registration + CSR MinSelectableValue
+  /// chain does exactly this); the floor check here only rejects snapshots
+  /// that were already stale at selection time.
   std::unique_ptr<MemTxn> Begin(IsolationLevel iso,
                                 Timestamp snapshot = kInvalidTimestamp);
 
@@ -86,6 +107,8 @@ class MemEngine {
 
   /// Visits visible rows with key >= lower in key order; stops when the
   /// callback returns false or `limit` rows were delivered (0 = unlimited).
+  /// The callback runs outside the epoch pin (row values are copied out
+  /// first), so it may block freely.
   Status Scan(MemTxn* txn, TableId table, const Key& lower, size_t limit,
               const std::function<bool(const Key&, const std::string&)>& cb);
 
@@ -108,15 +131,26 @@ class MemEngine {
   // ------------------------------------------------------------- misc
   LogManager* log() const { return log_.get(); }
 
-  /// Oldest snapshot any active transaction may use (GC horizon).
+  /// Reclamation domain versions retire through (the database-owned manager
+  /// unless this engine runs standalone).
+  EpochManager& epoch() { return *epoch_; }
+
+  /// Oldest snapshot any active transaction may use (GC horizon input).
   Timestamp MinActiveSnapshot() const {
     return active_.MinActive(LatestSnapshot());
   }
 
-  /// External bound on the GC horizon: the coordinator supplies the oldest
+  /// Version-GC floor: versions strictly older than the newest version at
+  /// or below it are unlinked at install time. Monotone. Test hook.
+  Timestamp GcFloor() const {
+    return gc_floor_.load(std::memory_order_acquire);
+  }
+
+  /// External bound on the GC floor: the coordinator supplies the oldest
   /// snapshot a live cross-engine transaction could still select into this
-  /// engine (via the CSR), so version pruning never outruns a crossing
-  /// that has not materialized its read view yet.
+  /// engine (via the CSR), so version unlinking never outruns a crossing
+  /// that has not materialized its read view yet. Must be set before
+  /// concurrent use; consulted on every floor advance.
   void SetGcHorizonProvider(std::function<Timestamp()> provider) {
     gc_horizon_provider_ = std::move(provider);
   }
@@ -137,32 +171,47 @@ class MemEngine {
   Version* ReadVisible(Record* rec, Timestamp snapshot) const;
   void LatchWriteSet(MemTxn* txn);
   void UnlatchWriteSet(MemTxn* txn);
-  void PruneVersions(Version* new_head, Timestamp horizon);
+  // Unlinks the prunable sub-chain below `new_head` (caller holds the
+  // record latch) and returns it for retirement after the latches drop,
+  // or nullptr when nothing is prunable.
+  Version* PruneVersions(Version* new_head, Timestamp floor);
   // `thread_commits` is the committing thread's shard-local commit count,
   // used as the periodic trigger clock (every gc_interval commits by a
   // thread) without folding the sharded counter on the hot path.
-  void MaybeAdvanceGcHorizon(uint64_t thread_commits);
+  void MaybeAdvanceGcFloor(uint64_t thread_commits);
 
   Options options_;
   std::unique_ptr<LogManager> log_;
 
   std::atomic<Timestamp> clock_{1};  // ts 1 = pre-loaded ("genesis") data
   ActiveSnapshotRegistry active_;
-  // Two-level GC floor. `gc_published_` is what new pinned-snapshot
-  // transactions validate against; `gc_horizon_` is what pruning actually
-  // uses and trails it by one advance round: a pruning bound only becomes
-  // usable after a registry scan confirmed it AND it was published before
-  // that scan, so a pinned begin either is seen by the scan or sees the
-  // published floor — never neither (see MaybeAdvanceGcHorizon).
-  std::atomic<Timestamp> gc_horizon_{1};
-  std::atomic<Timestamp> gc_published_{1};
-  std::mutex gc_mu_;
+
+  // Reclamation domain (shared with the CSR and the other engine when
+  // database-owned). Declared before the floor/counters so a standalone
+  // engine's retired versions outlive everything that retires into it.
+  std::unique_ptr<EpochManager> owned_epoch_;
+  EpochManager* epoch_;
+
+  // Single version-GC floor (monotone). Inline pruning at install reads it;
+  // MaybeAdvanceGcFloor CAS-maxes it to min(registry scan, provider). The
+  // old two-level published/apply floor pair is gone: MinActive waits out
+  // in-flight registrations (exact scan) and pinned snapshots are covered
+  // by the provider from selection to registration, so one floor value is
+  // simultaneously safe to prune with and safe to validate against. See
+  // docs/RECLAMATION.md for the full argument. gc_round_mu_ only dedups
+  // concurrent advance rounds (try-lock); it carries no floor protocol.
+  std::atomic<Timestamp> gc_floor_{1};
+  std::mutex gc_round_mu_;
   std::function<Timestamp()> gc_horizon_provider_;
+
   // Hot-path counters are sharded so committing threads never contend on
-  // a stats cache line.
+  // a stats cache line. The prune diagnostic additionally carries a
+  // tick-refreshed fold cache: it sits on the reclamation path and may be
+  // polled at sampling frequency, and a 50µs-stale monotone count is
+  // indistinguishable from an exact one there.
   ShardedCounter commit_count_;
   ShardedCounter abort_count_;
-  ShardedCounter pruned_count_;
+  ShardedCounter pruned_count_{/*read_cache_ns=*/50'000};
 
   mutable std::mutex tables_mu_;
   std::vector<std::unique_ptr<MemTable>> tables_;

@@ -10,8 +10,14 @@
 namespace skeena::stordb {
 
 StorEngine::StorEngine(std::unique_ptr<StorageDevice> log_device,
-                       Options options)
+                       Options options, EpochManager* epoch)
     : options_(options), locks_(options.lock) {
+  if (epoch == nullptr) {
+    owned_epoch_ = std::make_unique<EpochManager>();
+    epoch_ = owned_epoch_.get();
+  } else {
+    epoch_ = epoch;
+  }
   if (options_.enable_logging) {
     log_ = std::make_unique<LogManager>(std::move(log_device), options_.log);
   }
@@ -34,6 +40,11 @@ StorEngine::~StorEngine() {
   // The pool's final flush resolves devices through tables_; destroy it
   // before the member destruction order would tear tables_ down first.
   pool_.reset();
+  // Undo batches still waiting for the purge floor are freed directly: no
+  // reader is left, and the epoch manager (possibly database-owned and
+  // already ahead of us in destruction order) must not be touched here.
+  for (const PendingUndos& p : pending_undos_) delete p.batch;
+  pending_undos_.clear();
 }
 
 TableId StorEngine::CreateTable(const std::string& name,
@@ -86,8 +97,32 @@ void StorEngine::EnsureTid(StorTxn* txn) {
 Status StorEngine::EnsureView(StorTxn* txn) {
   if (txn->has_view_) return Status::OK();
   bool pinned = txn->pending_ser_limit_ != kMaxTimestamp;
+  // A pinned (CSR-selected) snapshot below the purge floor cannot be
+  // served: the undo chains it needs may already be retired. The floor
+  // cannot move past a snapshot the CSR could still select (the
+  // coordinator's purge-horizon provider bounds every floor advance), so
+  // this check only fires for snapshots stale at selection time — no
+  // register-then-validate ordering is needed. Native views draw their
+  // horizon from the live transaction table and cannot be stale.
+  if (pinned && txn->pending_ser_limit_ + 1 <
+                    purge_floor_.load(std::memory_order_seq_cst)) {
+    return Status::SkeenaAbort("cross-engine snapshot predates undo purge");
+  }
   txn->view_slot_ = trx_sys_.view_registry().Acquire();
   trx_sys_.view_registry().BeginAcquire(txn->view_slot_);
+  // Pre-register a conservative horizon and only THEN create the view:
+  // MinActive waits out sentinel slots, and CreateReadView takes the
+  // trx-sys mutex — leaving the sentinel up across that wait would make
+  // purge scans spin for a whole contended lock acquisition. The counter
+  // value is a safe stand-in: everything the eventual view cannot see
+  // retires at a ser >= the view's high watermark, which is drawn from
+  // the same counter *after* this store — so a scan that uses this bound
+  // (or missed the slot entirely and used its pre-scan fallback, which
+  // this store also precedes) never purges an undo the view needs. The
+  // real horizon replaces it after view creation; for pinned views the
+  // provider chain independently bounds the floor below ser_limit + 1.
+  trx_sys_.view_registry().SetSnapshot(txn->view_slot_,
+                                       trx_sys_.LatestSerSnapshot() + 1);
   txn->view_ = trx_sys_.CreateReadView(txn->tid_);
   Timestamp horizon;
   if (pinned) {
@@ -97,16 +132,6 @@ Status StorEngine::EnsureView(StorTxn* txn) {
     horizon = txn->view_.low_water;
   }
   trx_sys_.view_registry().SetSnapshot(txn->view_slot_, horizon);
-  // Validate AFTER registering (seq_cst store then seq_cst load): either
-  // the purger's registry scan already saw this view, or this load sees
-  // the floor published before that scan — a CSR snapshot whose undo
-  // chains may be reclaimed is always rejected here. Native views draw
-  // their horizon from the live transaction table and cannot be stale.
-  if (pinned &&
-      horizon < purge_published_.load(std::memory_order_seq_cst)) {
-    trx_sys_.view_registry().Release(txn->view_slot_);
-    return Status::SkeenaAbort("cross-engine snapshot predates undo purge");
-  }
   txn->has_view_ = true;
   return Status::OK();
 }
@@ -164,6 +189,13 @@ Status StorEngine::ReadVisibleRow(StorTxn* txn, StorTable* t, Rid rid,
 
   bool own = txn->tid_ != 0 && tid == txn->tid_;
   if (!own) {
+    // Pin for the roll-chain walk: batches are retired through the epoch
+    // manager once the purge floor passes them, and the pin keeps a batch
+    // we may be walking through mapped until we unpin. Pinned AFTER the
+    // page fetch (which can block on device I/O — an EpochGuard must not
+    // be held across that); the visibility wait inside Visible() for a
+    // pre-committed writer is bounded (its post-commit is unconditional).
+    EpochGuard guard(*epoch_);
     while (!trx_sys_.Visible(txn->view_, tid)) {
       if (roll == nullptr) {
         *found = false;
@@ -468,6 +500,14 @@ void StorEngine::FinishTxn(StorTxn* txn) {
   RetireUndos(txn);
 }
 
+namespace {
+// Typed deleter for a finished transaction's undo batch: one limbo entry
+// per transaction.
+void DeleteUndoBatch(void* p) {
+  delete static_cast<std::vector<std::unique_ptr<UndoRecord>>*>(p);
+}
+}  // namespace
+
 void StorEngine::RetireUndos(StorTxn* txn) {
   if (txn->undos_.empty()) return;
   // Undo images must outlive every view that may still walk them. A
@@ -477,13 +517,17 @@ void StorEngine::RetireUndos(StorTxn* txn) {
   // row header before the rollback — even views far newer than its
   // pre-commit ser_no — so aborts always retire at the current counter:
   // every such view began (and registered) before this point, which pins
-  // the purge bound below it.
+  // the purge floor below it. The batch then waits FIFO until the floor
+  // passes the bound, and is freed through the epoch manager after that
+  // (covering readers mid-walk).
   bool committed = txn->state_ == StorTxn::State::kCommitted;
   uint64_t ser = (committed && txn->ser_no_ != 0)
                      ? txn->ser_no_
                      : trx_sys_.LatestSerSnapshot() + 1;
-  std::lock_guard<std::mutex> guard(retired_mu_);
-  retired_.push_back(RetiredUndo{ser, std::move(txn->undos_)});
+  auto* batch =
+      new std::vector<std::unique_ptr<UndoRecord>>(std::move(txn->undos_));
+  std::lock_guard<std::mutex> guard(pending_mu_);
+  pending_undos_.push_back(PendingUndos{ser, batch});
 }
 
 void StorEngine::MaybePurge(uint64_t thread_commits) {
@@ -491,37 +535,34 @@ void StorEngine::MaybePurge(uint64_t thread_commits) {
       thread_commits % options_.purge_interval != 0) {
     return;
   }
-  std::unique_lock<std::mutex> purge_lock(purge_mu_, std::try_to_lock);
-  if (!purge_lock.owns_lock()) return;  // another committer is purging
-  uint64_t scan = trx_sys_.MinActiveViewSer();
+  std::unique_lock<std::mutex> round(purge_round_mu_, std::try_to_lock);
+  if (!round.owns_lock()) return;  // another committer is purging
+  // One exact view-registry scan (MinActive waits out in-flight
+  // registrations) plus the coordinator's bound on what the CSR could
+  // still select; their min is safe both to reclaim with and to validate
+  // pinned views against — one floor, no published/apply split.
+  uint64_t m = trx_sys_.MinActiveViewSer();
   if (purge_horizon_provider_) {
-    scan = std::min(scan, purge_horizon_provider_());
+    m = std::min(m, purge_horizon_provider_());
   }
-  uint64_t pub = purge_published_.load(std::memory_order_seq_cst);
-  // Reclaim with min(fresh scan, previously published floor): a view the
-  // scan missed registered after the scan started and validates against
-  // `pub` (published before the scan) in EnsureView — one of the two
-  // bounds always covers every live view.
-  uint64_t min_ser = std::min(scan, pub);
-  if (scan > pub) {
-    purge_published_.store(scan, std::memory_order_seq_cst);
-  }
-  trx_sys_.PurgeStates(min_ser);
-  std::vector<RetiredUndo> dropped;
+  AtomicFetchMax(purge_floor_, m, std::memory_order_seq_cst);
+  trx_sys_.PurgeStates(m);
+  // Drain the ripe FIFO prefix into the epoch manager: O(ripe), not a scan
+  // of everything retained. A smaller ser stuck behind a larger head just
+  // waits for the floor to pass the head too — conservative, never unsafe.
+  std::vector<std::vector<std::unique_ptr<UndoRecord>>*> ripe;
   {
-    std::lock_guard<std::mutex> guard(retired_mu_);
-    auto it = std::partition(
-        retired_.begin(), retired_.end(),
-        [min_ser](const RetiredUndo& r) { return r.ser >= min_ser; });
-    for (auto d = it; d != retired_.end(); ++d) {
-      dropped.push_back(std::move(*d));
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    while (!pending_undos_.empty() && pending_undos_.front().ser < m) {
+      ripe.push_back(pending_undos_.front().batch);
+      pending_undos_.pop_front();
     }
-    retired_.erase(it, retired_.end());
   }
-  for (const auto& d : dropped) {
-    undo_purged_.Add(d.undos.size());
+  for (auto* batch : ripe) {
+    undo_purged_.Add(batch->size());
+    epoch_->RetireRaw(batch, &DeleteUndoBatch);
   }
-  // `dropped` destructs outside the mutex.
+  epoch_->TryAdvance();
 }
 
 StorEngine::Stats StorEngine::stats() const {

@@ -1,6 +1,7 @@
 #ifndef SKEENA_STORDB_STOR_ENGINE_H_
 #define SKEENA_STORDB_STOR_ENGINE_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -38,6 +40,13 @@ namespace skeena::stordb {
 ///  * commit draws a serialisation_no from the TID counter — exactly the
 ///    value the paper's MySQL integration feeds to Skeena's commit check
 ///    (Section 5).
+///
+/// Undo/state reclamation (docs/RECLAMATION.md) is unified with memdb's
+/// and the CSR's: readers pin an EpochGuard for each roll-chain walk,
+/// finished transactions queue their undo batches FIFO, and the purge
+/// floor — min(oldest registered view horizon, external provider) —
+/// forwards ripe batches to the shared EpochManager, which frees them
+/// after the grace period.
 class StorEngine {
  public:
   using DeviceFactory =
@@ -59,7 +68,12 @@ class StorEngine {
     size_t max_concurrent_txns = 4096;
   };
 
-  StorEngine(std::unique_ptr<StorageDevice> log_device, Options options);
+  /// `epoch` is the reclamation domain retired undo batches are freed
+  /// through; pass the database-owned manager so all engines and the CSR
+  /// share one epoch domain. When null (standalone use, tests) the engine
+  /// owns a private one.
+  StorEngine(std::unique_ptr<StorageDevice> log_device, Options options,
+             EpochManager* epoch = nullptr);
   ~StorEngine();
 
   StorEngine(const StorEngine&) = delete;
@@ -120,6 +134,17 @@ class StorEngine {
   BufferPool* pool() { return pool_.get(); }
   TrxSys* trx_sys() { return &trx_sys_; }
   LockManager* lock_manager() { return &locks_; }
+
+  /// Reclamation domain undo batches retire through (the database-owned
+  /// manager unless this engine runs standalone).
+  EpochManager& epoch() { return *epoch_; }
+
+  /// Undo-purge floor (exclusive, in ser-number space): batches whose
+  /// retire bound is below it have been handed to the epoch manager.
+  /// Monotone. Test hook.
+  uint64_t PurgeFloor() const {
+    return purge_floor_.load(std::memory_order_acquire);
+  }
 
   /// Log-replay recovery; see MemEngine::Recover for the contract.
   Status Recover(const std::set<GlobalTxnId>& excluded);
@@ -192,28 +217,41 @@ class StorEngine {
   mutable std::mutex tables_mu_;
   std::vector<std::unique_ptr<StorTable>> tables_;
 
-  std::mutex retired_mu_;
-  struct RetiredUndo {
-    uint64_t ser;
-    std::vector<std::unique_ptr<UndoRecord>> undos;
-  };
-  std::vector<RetiredUndo> retired_;
+  // Reclamation domain (shared with the CSR and the other engine when
+  // database-owned).
+  std::unique_ptr<EpochManager> owned_epoch_;
+  EpochManager* epoch_;
 
-  // Two-level undo-purge floor (same protocol as memdb's GC horizon):
-  // `purge_published_` is what cross-engine view registration validates
-  // against; the reclaim bound each round is min(fresh registry scan,
-  // previously published floor), so a view the scan missed always sees the
-  // published floor at its post-registration check — never neither.
-  std::mutex purge_mu_;
-  std::atomic<uint64_t> purge_published_{0};
+  // Finished transactions' undo batches, FIFO in finish order, each tagged
+  // with its retire bound in ser space (commit: own ser_no; abort: the live
+  // counter — see RetireUndos). MaybePurge drains the ripe prefix into the
+  // epoch manager; out-of-order bounds (a smaller ser finishing after a
+  // larger one) just wait one extra round behind the head, which is always
+  // safe. This replaces the old retained-list std::partition scan.
+  std::mutex pending_mu_;
+  struct PendingUndos {
+    uint64_t ser;
+    std::vector<std::unique_ptr<UndoRecord>>* batch;  // heap, Retire()d whole
+  };
+  std::deque<PendingUndos> pending_undos_;
+
+  // Single undo-purge floor (monotone, exclusive in ser space). Advanced
+  // to min(view-registry scan, provider) every purge_interval commits; the
+  // old two-level published/apply floor pair is gone for the same reasons
+  // as memdb's (see mem_engine.h and docs/RECLAMATION.md). purge_round_mu_
+  // only makes rounds non-reentrant (PurgeStates keeps one-round state for
+  // the aborted-entry grace period); it carries no floor protocol.
+  std::atomic<uint64_t> purge_floor_{0};
+  std::mutex purge_round_mu_;
   std::function<uint64_t()> purge_horizon_provider_;
 
   // Hot-path counters are sharded so committing threads never contend on
   // a stats cache line; MaybePurge triggers off the committing thread's
-  // shard-local count instead of a folded total.
+  // shard-local count instead of a folded total. The purge diagnostic
+  // carries a tick-refreshed fold cache (see MemEngine::pruned_count_).
   ShardedCounter commit_count_;
   ShardedCounter abort_count_;
-  ShardedCounter undo_purged_;
+  ShardedCounter undo_purged_{/*read_cache_ns=*/50'000};
 };
 
 }  // namespace skeena::stordb

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "common/encoding.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "common/sharded_counter.h"
 #include "common/status.h"
 
 namespace skeena {
@@ -196,6 +198,65 @@ TEST(HistogramTest, MeanExact) {
   EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
 }
 
+// --------------------------------------------------------- ShardedCounter
+
+TEST(ShardedCounterTest, ExactByDefault) {
+  ShardedCounter c;
+  c.Add(5);
+  EXPECT_EQ(c.Read(), 5u);
+  c.Add(3);
+  EXPECT_EQ(c.Read(), 8u);  // no cache: every Read folds fresh
+}
+
+TEST(ShardedCounterTest, CachedReadStalenessIsBounded) {
+  constexpr uint64_t kTickNs = 2'000'000;  // 2 ms
+  ShardedCounter c(kTickNs);
+  c.Add(5);
+  EXPECT_EQ(c.Read(), 5u);  // first read: no cache yet, folds fresh
+  c.Add(3);
+  // Within the tick a read may serve the cached fold — bounded staleness,
+  // never below a previously returned value, never above the true total.
+  uint64_t mid = c.Read();
+  EXPECT_GE(mid, 5u);
+  EXPECT_LE(mid, 8u);
+  // Past the tick every read must reflect increments older than one tick:
+  // the staleness bound, not eventual consistency.
+  std::this_thread::sleep_for(std::chrono::nanoseconds(2 * kTickNs));
+  EXPECT_EQ(c.Read(), 8u);
+}
+
+TEST(ShardedCounterTest, CachedReadMonotoneUnderConcurrency) {
+  ShardedCounter c(/*read_cache_ns=*/20'000);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> adders;
+  for (int t = 0; t < 4; ++t) {
+    adders.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c.Add(1);
+    });
+  }
+  // Several concurrent readers, each checking its own observation
+  // sequence: Read() must return the CAS-maxed cache (not a private
+  // possibly-stale fold), or a preempted refresher makes the counter
+  // appear to run backwards across readers.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last = 0;
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t v = c.Read();
+        ASSERT_GE(v, last) << "cached fold went backwards";
+        last = v;
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  for (auto& th : adders) th.join();
+  uint64_t quiesced = c.Read();
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+  EXPECT_GE(c.Read(), quiesced);
+}
+
 // --------------------------------------------------- ActiveSnapshotRegistry
 
 TEST(ActiveRegistryTest, MinOfRegisteredSnapshots) {
@@ -213,12 +274,20 @@ TEST(ActiveRegistryTest, MinOfRegisteredSnapshots) {
   EXPECT_EQ(reg.MinActive(999), 999u);  // fallback when empty
 }
 
-TEST(ActiveRegistryTest, AcquiringSlotsIgnored) {
+TEST(ActiveRegistryTest, AcquiringSlotsAreWaitedOut) {
+  // A slot mid-registration makes the scan wait — ignoring it would let a
+  // registrant that read the clock before the scan began slip under the
+  // returned minimum (see the class docs). Once the snapshot lands, the
+  // scan must report it, not the fallback.
   ActiveSnapshotRegistry reg(16);
   size_t s = reg.Acquire();
   reg.BeginAcquire(s);
-  // Mid-acquisition: the scan must not treat the sentinel as a snapshot.
-  EXPECT_EQ(reg.MinActive(77), 77u);
+  std::thread finisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    reg.SetSnapshot(s, 7);
+  });
+  EXPECT_EQ(reg.MinActive(77), 7u);
+  finisher.join();
   reg.Release(s);
 }
 
@@ -285,6 +354,20 @@ TEST(ActiveRegistryTest, ConcurrentGrowthWithScans) {
 }
 
 #ifdef GTEST_HAS_DEATH_TEST
+TEST(ActiveRegistryDeathTest, RegisteringTheSentinelValueFailsLoudly) {
+  // kMaxTimestamp doubles as the acquiring sentinel; registering it as a
+  // real snapshot would make MinActive's sentinel wait spin for the whole
+  // registration lifetime, so it must die loudly instead.
+  EXPECT_DEATH(
+      {
+        ActiveSnapshotRegistry reg(4);
+        size_t s = reg.Acquire();
+        reg.BeginAcquire(s);
+        reg.SetSnapshot(s, ActiveSnapshotRegistry::kAcquiringSentinel);
+      },
+      "cannot be registered");
+}
+
 TEST(ActiveRegistryDeathTest, ExhaustingAbsoluteCapacityFailsLoudly) {
   // Capacity = chunk size * 64 chunks; the claim past it must abort with a
   // diagnostic in every build type instead of writing out of bounds.
