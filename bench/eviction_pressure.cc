@@ -1,0 +1,114 @@
+// Eviction-pressure matrix: raw BufferPool fetch throughput as the pool
+// shrinks below the working set. This hammers exactly the paths the frame
+// lifecycle redesign (state machine + in-flight write-back table) touched —
+// miss-heavy cells are wall-to-wall evict/write-back/reload, so any
+// protocol overhead shows up here first, before it would surface in
+// `table4_hit_ratio`'s end-to-end storage-resident cells.
+//
+// Rows: pool coverage (fraction of the working set that fits).
+// Cols: fetcher threads. Three matrices: fetches/s, the measured hit
+// ratio, and flush-park waits per 10k fetches (how often a refetch had to
+// wait out an in-flight write-back — the window the fix made safe).
+
+#include <cstring>
+#include <memory>
+
+#include "bench/common/bench_harness.h"
+#include "stordb/buffer_pool.h"
+
+namespace skeena::bench {
+namespace {
+
+using stordb::BufferPool;
+using stordb::MakePageId;
+using stordb::PageId;
+
+constexpr uint32_t kWorkingSetPages = 512;
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  std::vector<int> conn_set = {1, scale.connections.back()};
+  struct Target {
+    std::string label;
+    double coverage;  // pool frames / working-set pages
+  };
+  std::vector<Target> targets = {{"fits", 1.5}, {"50%", 0.5}, {"10%", 0.1}};
+
+  auto tput = std::make_shared<ResultMatrix>(
+      "Eviction pressure: fetches/s vs. pool coverage (TmpfsStack latency)",
+      "Coverage");
+  auto ratio = std::make_shared<ResultMatrix>(
+      "Eviction pressure (measured hit ratio, %)", "Coverage");
+  auto waits = std::make_shared<ResultMatrix>(
+      "Eviction pressure (flush-park waits per 10k fetches)", "Coverage");
+
+  for (int conns : conn_set) {
+    for (const auto& target : targets) {
+      RegisterCell(
+          "EvictionPressure/threads:" + std::to_string(conns) +
+              "/coverage:" + target.label,
+          [=] {
+            auto device = std::make_unique<MemDevice>(
+                DeviceLatency::TmpfsStack());
+            StorageDevice* dev = device.get();
+            size_t frames = static_cast<size_t>(
+                static_cast<double>(kWorkingSetPages) * target.coverage);
+            BufferPool pool(
+                frames, [dev](TableId) { return dev; }, 4);
+            // Populate: every page stamped dirty so evictions write back.
+            for (uint32_t p = 0; p < kWorkingSetPages; ++p) {
+              auto page = pool.NewPage(MakePageId(0, p));
+              if (!page.ok()) continue;
+              page->LockExclusive();
+              std::memset(page->data(), static_cast<int>(p + 1),
+                          stordb::kPageSize);
+              page->UnlockExclusive();
+            }
+            pool.ResetStats();
+            RunResult r = RunWorkload(
+                conns, scale.duration_ms,
+                [&pool](int, Rng& rng, uint64_t* queries) {
+                  uint32_t p =
+                      static_cast<uint32_t>(rng.Uniform(kWorkingSetPages));
+                  auto page = pool.FetchPage(MakePageId(0, p));
+                  if (!page.ok()) return Status::OK();  // transiently pinned
+                  if (rng.Uniform(10) < 8) {
+                    page->LockShared();
+                    ::benchmark::DoNotOptimize(page->data()[0]);
+                    page->UnlockShared();
+                  } else {
+                    page->LockExclusive();
+                    page->data()[0] = static_cast<uint8_t>(p + 1);
+                    page->UnlockExclusive();
+                  }
+                  (*queries)++;
+                  return Status::OK();
+                });
+            tput->Set(target.label, std::to_string(conns), r.Qps());
+            ratio->Set(target.label, std::to_string(conns),
+                       pool.HitRatio() * 100.0);
+            uint64_t fetches = pool.hits() + pool.misses();
+            waits->Set(target.label, std::to_string(conns),
+                       fetches == 0 ? 0.0
+                                    : 1e4 * static_cast<double>(
+                                                pool.flush_waits()) /
+                                          static_cast<double>(fetches));
+            return r;
+          });
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  tput->Print();
+  ratio->Print(1);
+  waits->Print(2);
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

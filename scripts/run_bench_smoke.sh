@@ -66,6 +66,25 @@ if doc["bench"] == "ablation_commit":
     assert all(v == 0 for v in sync_wakes), \
         f"sync mode issued completion wakeups: {sync_wakes}"
     print(f"  OK wakeup fields: {len(wake)} wakeup + {len(parks)} park points")
+if doc["bench"] == "eviction_pressure":
+    # The buffer-pool frame-lifecycle cost matrix: every coverage row must
+    # be present in the throughput matrix, hit ratios must be sane
+    # percentages, and the miss-heavy ("10%") cells must record real
+    # eviction traffic (hit ratio well below 100).
+    tput = [p for p in doc["points"] if "fetches/s" in p["matrix"]]
+    ratios = [p for p in doc["points"] if "hit ratio" in p["matrix"]]
+    assert tput, "no throughput points in BENCH_eviction_pressure.json"
+    expected_rows = {"fits", "50%", "10%"}
+    rows = {p["row"] for p in tput}
+    assert rows == expected_rows, f"coverage rows {rows} != {expected_rows}"
+    for p in tput:
+        assert 0 < p["value"] < 1e9, f"absurd fetches/s value {p}"
+    for p in ratios:
+        assert 0 <= p["value"] <= 100, f"bad hit-ratio value {p}"
+    miss_heavy = [p["value"] for p in ratios if p["row"] == "10%"]
+    assert miss_heavy and all(v < 99 for v in miss_heavy), \
+        f"10% coverage cells did not generate misses: {miss_heavy}"
+    print(f"  OK eviction-pressure matrix: {len(tput)} cells")
 if doc["bench"] == "ablation_csr":
     # The lock-free read-path matrix feeds the reclamation perf trajectory
     # (docs/RECLAMATION.md); its hit-ratio rows must all be present with

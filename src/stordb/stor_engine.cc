@@ -571,6 +571,8 @@ StorEngine::Stats StorEngine::stats() const {
   s.aborts = abort_count_.Read();
   s.undo_purged = undo_purged_.Read();
   s.pool_hit_ratio = pool_->HitRatio();
+  s.pool_flush_waits = pool_->flush_waits();
+  s.pool_write_backs = pool_->write_backs();
   return s;
 }
 

@@ -154,6 +154,11 @@ class StorEngine {
     uint64_t aborts = 0;
     uint64_t undo_purged = 0;
     double pool_hit_ratio = 1.0;
+    /// Fetches that parked behind an in-flight eviction write-back of the
+    /// same page (the read-after-evict window; see BufferPool).
+    uint64_t pool_flush_waits = 0;
+    /// Dirty eviction write-backs that reached the device.
+    uint64_t pool_write_backs = 0;
   };
   Stats stats() const;
 

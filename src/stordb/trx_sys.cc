@@ -7,6 +7,7 @@ namespace skeena::stordb {
 TrxSys::TrxSys() {
   // Genesis transaction: initial table loads are stamped tid 1 / ser 1.
   states_.Put(1, StateSnapshot{TxnState::kCommitted, 1});
+  resolved_commits_.push_back(Resolved{1, 1});
 }
 
 uint64_t TrxSys::AssignTid() {
@@ -29,9 +30,16 @@ uint64_t TrxSys::AssignSerNo(uint64_t tid) {
 void TrxSys::MarkCommitted(uint64_t tid) {
   std::lock_guard<std::mutex> guard(mu_);
   auto st = states_.Get(tid);
-  states_.Put(tid, StateSnapshot{TxnState::kCommitted,
-                                 st.has_value() ? st->ser : 0});
+  uint64_t ser = st.has_value() ? st->ser : 0;
+  states_.Put(tid, StateSnapshot{TxnState::kCommitted, ser});
   active_tids_.erase(tid);
+  if (ser != 0) {
+    // Terminal state: enters the purge FIFO exactly once. A ser of 0
+    // (commit without AssignSerNo) never becomes purgeable, matching the
+    // scan-based predicate this index replaced.
+    std::lock_guard<std::mutex> rguard(resolved_mu_);
+    resolved_commits_.push_back(Resolved{ser, tid});
+  }
 }
 
 void TrxSys::MarkAborting(uint64_t tid) {
@@ -54,6 +62,8 @@ void TrxSys::FinishAbort(uint64_t tid) {
   // its registered view keeps the purge below. (The ser of an aborted
   // state is otherwise unused: visibility only looks at the state tag.)
   states_.Put(tid, StateSnapshot{TxnState::kAborted, next_tid_});
+  std::lock_guard<std::mutex> rguard(resolved_mu_);
+  resolved_aborts_.push_back(Resolved{next_tid_, tid});
 }
 
 ReadView TrxSys::CreateReadView(uint64_t own_tid) {
@@ -118,13 +128,27 @@ bool TrxSys::Visible(const ReadView& view, uint64_t tid) const {
 size_t TrxSys::PurgeStates(uint64_t min_ser) {
   uint64_t aborted_limit = prev_purge_min_;
   prev_purge_min_ = min_ser;
-  return states_.EraseIf(
-      [min_ser, aborted_limit](const uint64_t&, const StateSnapshot& st) {
-        if (st.ser == 0) return false;
-        if (st.state == TxnState::kCommitted) return st.ser < min_ser;
-        if (st.state == TxnState::kAborted) return st.ser < aborted_limit;
-        return false;
-      });
+  // Pop the ripe FIFO prefixes (committed below min_ser, aborted below the
+  // previous round's min — the one-round grace), then erase those tids
+  // from the state map: O(ripe) per round instead of an EraseIf scan of
+  // everything retained.
+  std::vector<uint64_t> ripe;
+  {
+    std::lock_guard<std::mutex> guard(resolved_mu_);
+    while (!resolved_commits_.empty() &&
+           resolved_commits_.front().ser < min_ser) {
+      ripe.push_back(resolved_commits_.front().tid);
+      resolved_commits_.pop_front();
+    }
+    while (!resolved_aborts_.empty() &&
+           resolved_aborts_.front().ser < aborted_limit) {
+      ripe.push_back(resolved_aborts_.front().tid);
+      resolved_aborts_.pop_front();
+    }
+  }
+  size_t removed = 0;
+  for (uint64_t tid : ripe) removed += states_.Erase(tid) ? 1 : 0;
+  return removed;
 }
 
 void TrxSys::AdvanceTo(uint64_t next) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <set>
 #include <vector>
@@ -129,6 +130,13 @@ class TrxSys {
   /// entries get one extra purge round of grace so a reader holding a
   /// microseconds-stale row copy never mistakes an aborted writer for an
   /// ancient commit. Returns number purged.
+  ///
+  /// O(ripe), not a state-map scan: resolved transactions enter a
+  /// ser-ordered side FIFO at MarkCommitted/FinishAbort and each round
+  /// pops only the ripe prefix — the same discipline as the engine's undo
+  /// queue (docs/RECLAMATION.md). An out-of-order smaller ser stuck behind
+  /// a larger head just waits until the floor passes the head too:
+  /// conservative, never unsafe.
   size_t PurgeStates(uint64_t min_ser);
 
   /// Fast-forwards the TID/serialisation counter after recovery.
@@ -145,6 +153,18 @@ class TrxSys {
   mutable ConcurrentHashMap<uint64_t, StateSnapshot> states_;
   ActiveSnapshotRegistry views_;
   uint64_t prev_purge_min_ = 0;  // guarded by callers' purge serialization
+
+  /// Side index for O(ripe) purge: (retire ser, tid) in enqueue order,
+  /// which is near-monotone in ser because both the ser draw and the
+  /// enqueue happen under mu_. Split per outcome so the aborted entries'
+  /// one-round grace never stalls the committed prefix.
+  struct Resolved {
+    uint64_t ser;
+    uint64_t tid;
+  };
+  std::mutex resolved_mu_;  // acquired after mu_ (never the reverse)
+  std::deque<Resolved> resolved_commits_;
+  std::deque<Resolved> resolved_aborts_;
 };
 
 }  // namespace skeena::stordb

@@ -368,6 +368,40 @@ TEST(TrxSysTest, PurgedStatesReadAsAncientCommits) {
   EXPECT_TRUE(sys.VisibleInCrossView(t, 1));
 }
 
+// The O(ripe) purge FIFOs must preserve the aborted entries' one-round
+// grace: an aborted state survives the purge round that could first see
+// it, so a reader holding a microseconds-stale row copy never mistakes
+// the aborted writer for an anciently-committed one.
+TEST(TrxSysTest, AbortedStatesSurviveOnePurgeRound) {
+  TrxSys sys;
+  uint64_t t = sys.AssignTid();
+  sys.MarkAborting(t);
+  sys.FinishAbort(t);
+  sys.PurgeStates(1 << 20);
+  EXPECT_EQ(sys.GetState(t).state, TxnState::kAborted)
+      << "aborted entry purged without its grace round";
+  sys.PurgeStates(1 << 20);
+  EXPECT_EQ(sys.GetState(t).state, TxnState::kCommitted)
+      << "grace round over: entry should read as anciently committed";
+}
+
+// Committed entries above the floor are retained; the FIFO prefix pop
+// must not purge past the first unripe ser.
+TEST(TrxSysTest, PurgeStopsAtTheFloor) {
+  TrxSys sys;
+  uint64_t t1 = sys.AssignTid();
+  uint64_t ser1 = sys.AssignSerNo(t1);
+  sys.MarkCommitted(t1);
+  uint64_t t2 = sys.AssignTid();
+  uint64_t ser2 = sys.AssignSerNo(t2);
+  sys.MarkCommitted(t2);
+  ASSERT_LT(ser1, ser2);
+  size_t purged = sys.PurgeStates(ser2);  // ripe: genesis + t1, not t2
+  EXPECT_EQ(purged, 2u);
+  EXPECT_EQ(sys.GetState(t2).ser, ser2) << "t2's entry must survive";
+  EXPECT_EQ(sys.PurgeStates(ser2 + 1), 1u);
+}
+
 // --------------------------------------------------------------- StorEngine
 
 class StorEngineTest : public ::testing::Test {
