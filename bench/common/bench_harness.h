@@ -62,7 +62,7 @@ class MicroCache {
                                  DeviceLatency l) {
     char buf[320];
     std::snprintf(buf, sizeof(buf),
-                  "%d/%llu/%zu/%.3f/%d/%llu/%zu/%llu/%d/%zu/%d/%llu",
+                  "%d/%llu/%zu/%.3f/%d/%llu/%zu/%llu/%d/%zu/%d/%llu/%d",
                   c.tables_per_engine,
                   static_cast<unsigned long long>(c.rows_per_table),
                   c.value_size, c.pool_fraction, skeena_on ? 1 : 0,
@@ -71,7 +71,8 @@ class MicroCache {
                   static_cast<unsigned long long>(c.csr.recycle_period),
                   static_cast<int>(c.pipeline.mode), c.pipeline.num_queues,
                   static_cast<int>(c.anchor),
-                  static_cast<unsigned long long>(c.log_latency.sync_ns));
+                  static_cast<unsigned long long>(c.log_latency.sync_ns),
+                  c.record_history ? 1 : 0);
     return buf;
   }
 

@@ -37,6 +37,7 @@ MicroWorkload::MicroWorkload(const MicroConfig& config, bool skeena_on,
   opts.pipeline = config.pipeline;
   opts.anchor = config.anchor;
   opts.log_latency = config.log_latency;
+  opts.record_history = config.record_history;
   size_t needed = StorPagesNeeded(config);
   size_t pool = static_cast<size_t>(static_cast<double>(needed) *
                                     config.pool_fraction);

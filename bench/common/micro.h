@@ -37,6 +37,9 @@ struct MicroConfig {
   CommitPipeline::Options pipeline;
   EngineKind anchor = EngineKind::kMem;
   DeviceLatency log_latency = DeviceLatency::Tmpfs();
+
+  // Verification-hook cost measurement (bench/recording_overhead.cc).
+  bool record_history = false;
 };
 
 /// Applies SKEENA_BENCH_FULL / SKEENA_MICRO_* env scaling.

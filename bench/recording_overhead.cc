@@ -1,0 +1,73 @@
+// History-recording overhead matrix: the verification hook
+// (DatabaseOptions::record_history, see DESIGN.md "Verification") measured
+// against the same microbenchmark cells with the hook disabled.
+//
+// Expected shape: disabled recording is free — the per-op cost is one
+// null-pointer branch, so the "off" rows must match a plain build within
+// noise (the acceptance bar rides on ablation_csr's hit path staying
+// flat). Enabled recording pays a TxnHistory allocation per transaction
+// plus an op append per access and a shard push at finish; the point of
+// this matrix is to put a number on that so fuzz runs can be sized.
+
+#include "bench/common/bench_harness.h"
+
+#include "core/history.h"
+
+namespace skeena::bench {
+namespace {
+
+void Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  int conns = scale.connections.back();
+  MicroCache cache;
+
+  auto matrix = std::make_shared<ResultMatrix>(
+      "History recording overhead: TPS, hook off vs on", "Workload");
+
+  struct Cell {
+    std::string label;
+    int stor_pct;
+    int read_pct;
+  };
+  for (const Cell& cell : {Cell{"mem-only 80/20", 0, 80},
+                           Cell{"50% cross 80/20", 50, 80},
+                           Cell{"50% cross 20/80", 50, 20},
+                           Cell{"stor-heavy 80/20", 90, 80}}) {
+    for (bool record : {false, true}) {
+      std::string name = "RecordingOverhead/" + cell.label +
+                         (record ? "/on" : "/off");
+      RegisterCell(name, [=, &cache] {
+        MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
+        cfg.stor_pct = cell.stor_pct;
+        cfg.read_pct = cell.read_pct;
+        cfg.record_history = record;
+        MicroWorkload* wl = cache.Get(cfg, true);
+        RunResult r = RunWorkload(conns, scale.duration_ms,
+                                  [wl](int t, Rng& rng, uint64_t* q) {
+                                    return wl->RunOneTxn(t, rng, q);
+                                  });
+        matrix->Set(cell.label, record ? "on" : "off", r.Tps());
+        if (record) {
+          // Drain the recorder between cells so histories from one run
+          // don't inflate the next cell's memory footprint.
+          auto folded = wl->db()->recorder()->Fold();
+          matrix->Set(cell.label, "txns recorded",
+                      static_cast<double>(folded.size()));
+        }
+        return r;
+      });
+    }
+  }
+
+  ::benchmark::RunSpecifiedBenchmarks();
+  matrix->Print(0);
+}
+
+}  // namespace
+}  // namespace skeena::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  skeena::bench::Run();
+  return 0;
+}

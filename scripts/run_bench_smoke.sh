@@ -85,6 +85,25 @@ if doc["bench"] == "eviction_pressure":
     assert miss_heavy and all(v < 99 for v in miss_heavy), \
         f"10% coverage cells did not generate misses: {miss_heavy}"
     print(f"  OK eviction-pressure matrix: {len(tput)} cells")
+if doc["bench"] == "recording_overhead":
+    # The verification-hook cost matrix: every workload row must carry an
+    # off and an on TPS cell, and the recording cells must have actually
+    # recorded transactions (a zero count means the hook silently no-oped
+    # and the overhead numbers are meaningless).
+    tps = [p for p in doc["points"] if p["col"] in ("off", "on")]
+    counts = [p for p in doc["points"] if p["col"] == "txns recorded"]
+    expected_rows = {"mem-only 80/20", "50% cross 80/20", "50% cross 20/80",
+                     "stor-heavy 80/20"}
+    rows = {p["row"] for p in tps}
+    assert rows == expected_rows, f"overhead rows {rows} != {expected_rows}"
+    for row in expected_rows:
+        cols = {p["col"] for p in tps if p["row"] == row}
+        assert cols == {"off", "on"}, f"row {row} missing cells: {cols}"
+    for p in tps:
+        assert 0 < p["value"] < 1e9, f"absurd TPS value {p}"
+    assert counts and all(p["value"] > 0 for p in counts), \
+        f"recording cells recorded no transactions: {counts}"
+    print(f"  OK recording-overhead matrix: {len(tps)} TPS cells")
 if doc["bench"] == "ablation_csr":
     # The lock-free read-path matrix feeds the reclamation perf trajectory
     # (docs/RECLAMATION.md); its hit-ratio rows must all be present with

@@ -317,11 +317,12 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
   Timestamp low = 0;
   Timestamp high = kMaxTimestamp;
   size_t lb = LowerBound(*p, n, anchor_cts);
+  bool gate = !weaken_gate_.load(std::memory_order_relaxed);
   // Same-key entry: a reader at exactly our anchor commit timestamp sees
   // our anchor writes; if we really wrote in both engines, every
   // other-engine view registered at this key must already cover our
   // other-engine commit — the SMALLEST registered view is the binding one.
-  if (anchor_engine_wrote && other_engine_wrote && lb < n &&
+  if (gate && anchor_engine_wrote && other_engine_wrote && lb < n &&
       p->entries[lb].key == anchor_cts &&
       p->entries[lb].vmin.load(std::memory_order_relaxed) < other_cts) {
     commit_aborts_.Add(1);
@@ -351,7 +352,7 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
 
   bool low_violated =
       other_engine_wrote ? other_cts <= low : other_cts < low;
-  if ((low != 0 && low_violated) || other_cts > high) {
+  if (gate && ((low != 0 && low_violated) || other_cts > high)) {
     commit_aborts_.Add(1);
     return Status::SkeenaAbort("commit check failed");
   }
@@ -449,6 +450,24 @@ size_t SnapshotRegistry::EntryCount() const {
     n += p->count.load(std::memory_order_acquire);
   }
   return n;
+}
+
+std::vector<SnapshotRegistry::MappingEntry> SnapshotRegistry::DumpMappings(
+    Timestamp* floor) const {
+  EpochGuard guard(*epoch_);
+  const PartitionList* list = list_.load(std::memory_order_acquire);
+  if (floor != nullptr) *floor = list->floor;
+  std::vector<MappingEntry> out;
+  for (const Partition* p : list->parts) {
+    size_t n = p->count.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(MappingEntry{
+          p->entries[i].key,
+          p->entries[i].vmin.load(std::memory_order_acquire),
+          p->entries[i].vmax.load(std::memory_order_acquire)});
+    }
+  }
+  return out;
 }
 
 SnapshotRegistry::Stats SnapshotRegistry::stats() const {

@@ -141,6 +141,27 @@ class SnapshotRegistry {
   size_t EntryCount() const;
   Stats stats() const;
 
+  /// One published mapping: anchor-snapshot key and its [vmin, vmax]
+  /// other-engine interval.
+  struct MappingEntry {
+    Timestamp key;
+    Timestamp vmin;
+    Timestamp vmax;
+  };
+  /// Snapshot of every published mapping, sorted by key, plus the
+  /// recycling floor — the black-box checker verifies committed
+  /// cross-engine pairs against this (core/history.h). Lock-free; call on
+  /// a quiesced registry for an exact picture.
+  std::vector<MappingEntry> DumpMappings(Timestamp* floor = nullptr) const;
+
+  /// Test-only: disables Algorithm 2's abort conditions (mappings still
+  /// install) so the mutation test can prove the checker actually catches
+  /// the skew the gate prevents. Always compiled — CI test lanes build
+  /// with NDEBUG — at the cost of one relaxed load per commit check.
+  void TestOnlyWeakenCommitGate(bool weaken) {
+    weaken_gate_.store(weaken, std::memory_order_relaxed);
+  }
+
   EpochManager& epoch() { return *epoch_; }
 
  private:
@@ -235,6 +256,8 @@ class SnapshotRegistry {
   // recycling). Readers never take it.
   std::mutex write_mu_;
   std::atomic<PartitionList*> list_;
+
+  std::atomic<bool> weaken_gate_{false};
 
   ShardedCounter accesses_;
   ShardedCounter mappings_;

@@ -89,6 +89,9 @@ Database::Database(DatabaseOptions options)
 
   pipeline_ = std::make_unique<CommitPipeline>(options_.pipeline, engines_[0],
                                                engines_[1]);
+  if (options_.record_history) {
+    recorder_ = std::make_unique<HistoryRecorder>();
+  }
 
   LoadCatalog();
 }

@@ -15,6 +15,7 @@
 #include "core/commit_pipeline.h"
 #include "core/csr.h"
 #include "core/engine_iface.h"
+#include "core/history.h"
 
 namespace skeena {
 
@@ -56,6 +57,12 @@ struct DatabaseOptions {
   /// (survives restarts; enables crash-recovery flows). Otherwise all
   /// devices are in-memory.
   std::string data_dir;
+
+  /// Verification hook: record every transaction's snapshots, commit
+  /// serialisation points and read/write-sets into a per-thread history
+  /// log for the black-box SI checker (core/history.h). Off by default;
+  /// disabled cost is one null-pointer branch per operation.
+  bool record_history = false;
 };
 
 /// The multi-engine database: a memory-optimized engine and a
@@ -101,6 +108,8 @@ class Database {
   ActiveSnapshotRegistry& anchor_registry() { return anchor_registry_; }
   CommitPipeline& pipeline() { return *pipeline_; }
   EpochManager& epoch() { return epoch_; }
+  /// Null unless DatabaseOptions::record_history.
+  HistoryRecorder* recorder() { return recorder_.get(); }
 
   GlobalTxnId NextGtid() {
     return next_gtid_.fetch_add(1, std::memory_order_relaxed);
@@ -137,6 +146,7 @@ class Database {
   SnapshotRegistry csr_;
   ActiveSnapshotRegistry anchor_registry_;
   std::unique_ptr<CommitPipeline> pipeline_;
+  std::unique_ptr<HistoryRecorder> recorder_;
 
   std::atomic<GlobalTxnId> next_gtid_{1};
 

@@ -6,7 +6,11 @@ Transaction::Transaction(Database* db, IsolationLevel iso)
     : db_(db),
       iso_(iso),
       gtid_(db->NextGtid()),
-      skeena_on_(db->skeena_enabled()) {}
+      skeena_on_(db->skeena_enabled()) {
+  if (HistoryRecorder* rec = db_->recorder()) {
+    hist_ = rec->StartTxn(gtid_, iso_, skeena_on_);
+  }
+}
 
 Transaction::~Transaction() {
   if (state_ == State::kActive) Abort();
@@ -43,6 +47,11 @@ Status Transaction::PrepareAccess(int e) {
     if (!subs_[e]) {
       subs_[e] = db_->engine(e)->Begin(iso_, kMaxTimestamp);
       used_[e] = true;
+      if (hist_) {
+        hist_->used[e] = true;
+        hist_->begin[e] = kMaxTimestamp;
+        hist_snap_[e] = kMaxTimestamp;
+      }
     } else if (iso_ == IsolationLevel::kReadCommitted) {
       SKEENA_RETURN_NOT_OK(
           db_->engine(e)->RefreshSnapshot(subs_[e].get(), kMaxTimestamp));
@@ -59,6 +68,7 @@ Status Transaction::PrepareAccess(int e) {
     anchor_snap_ = db_->engine(anchor)->LatestSnapshot();
     db_->anchor_registry().SetSnapshot(anchor_slot_, anchor_snap_);
     Status refreshed;
+    Timestamp selected = anchor_snap_;
     if (e == anchor) {
       refreshed = db_->engine(e)->RefreshSnapshot(subs_[e].get(),
                                                   anchor_snap_);
@@ -70,11 +80,16 @@ Status Transaction::PrepareAccess(int e) {
         Abort();
         return sel.status();
       }
+      selected = *sel;
       refreshed = db_->engine(e)->RefreshSnapshot(subs_[e].get(), *sel);
     }
     if (!refreshed.ok()) {
       Abort();
       return refreshed;
+    }
+    if (hist_) {
+      hist_snap_[e] = selected;
+      hist_->anchor_snap = anchor_snap_;
     }
     return Status::OK();
   }
@@ -85,6 +100,7 @@ Status Transaction::PrepareAccess(int e) {
   // from the anchor's snapshot order (Section 4.3) — even if it never
   // touches anchor data.
   SKEENA_RETURN_NOT_OK(EnsureAnchorSnapshot());
+  Timestamp selected = anchor_snap_;
   if (e == anchor) {
     subs_[e] = db_->engine(e)->Begin(iso_, anchor_snap_);
   } else {
@@ -95,6 +111,7 @@ Status Transaction::PrepareAccess(int e) {
       Abort();
       return sel.status();
     }
+    selected = *sel;
     subs_[e] = db_->engine(e)->Begin(iso_, *sel);
   }
   if (subs_[e] == nullptr) {
@@ -104,6 +121,17 @@ Status Transaction::PrepareAccess(int e) {
     return Status::SkeenaAbort("selected snapshot predates engine GC floor");
   }
   used_[e] = true;
+  if (hist_) {
+    hist_->used[e] = true;
+    hist_->begin[e] = selected;
+    hist_snap_[e] = selected;
+    hist_->anchor_snap = anchor_snap_;
+    // Snapshot-pair atomicity only holds where the snapshot is pinned:
+    // read committed re-selects per access and may legitimately tear.
+    if (e != anchor && iso_ != IsolationLevel::kReadCommitted) {
+      hist_->snap_pairs.emplace_back(anchor_snap_, selected);
+    }
+  }
   return Status::OK();
 }
 
@@ -117,27 +145,51 @@ Status Transaction::HandleOpStatus(int e, Status s) {
   return s;
 }
 
+void Transaction::RecordOp(HistOpKind kind, int e, TableId table,
+                           const Key& key, std::string_view value,
+                           bool found) {
+  HistOp op;
+  op.kind = kind;
+  op.engine = static_cast<uint8_t>(e);
+  op.table = table;
+  op.key = key;
+  op.value.assign(value.data(), value.size());
+  op.found = found;
+  op.snapshot = hist_snap_[e];
+  hist_->ops.push_back(std::move(op));
+}
+
 Status Transaction::Get(const TableHandle& table, const Key& key,
                         std::string* value) {
   int e = table.engine_index;
   SKEENA_RETURN_NOT_OK(PrepareAccess(e));
-  return HandleOpStatus(
-      e, db_->engine(e)->Get(subs_[e].get(), table.local_id, key, value));
+  Status s = db_->engine(e)->Get(subs_[e].get(), table.local_id, key, value);
+  if (hist_ && (s.ok() || s.IsNotFound())) {
+    RecordOp(HistOpKind::kGet, e, table.local_id, key,
+             s.ok() ? std::string_view(*value) : std::string_view(), s.ok());
+  }
+  return HandleOpStatus(e, s);
 }
 
 Status Transaction::Put(const TableHandle& table, const Key& key,
                         std::string_view value) {
   int e = table.engine_index;
   SKEENA_RETURN_NOT_OK(PrepareAccess(e));
-  return HandleOpStatus(
-      e, db_->engine(e)->Put(subs_[e].get(), table.local_id, key, value));
+  Status s = db_->engine(e)->Put(subs_[e].get(), table.local_id, key, value);
+  if (hist_ && s.ok()) {
+    RecordOp(HistOpKind::kPut, e, table.local_id, key, value, true);
+  }
+  return HandleOpStatus(e, s);
 }
 
 Status Transaction::Delete(const TableHandle& table, const Key& key) {
   int e = table.engine_index;
   SKEENA_RETURN_NOT_OK(PrepareAccess(e));
-  return HandleOpStatus(
-      e, db_->engine(e)->Delete(subs_[e].get(), table.local_id, key));
+  Status s = db_->engine(e)->Delete(subs_[e].get(), table.local_id, key);
+  if (hist_ && s.ok()) {
+    RecordOp(HistOpKind::kDelete, e, table.local_id, key, {}, false);
+  }
+  return HandleOpStatus(e, s);
 }
 
 Status Transaction::Scan(
@@ -145,9 +197,19 @@ Status Transaction::Scan(
     const std::function<bool(const Key&, const std::string&)>& cb) {
   int e = table.engine_index;
   SKEENA_RETURN_NOT_OK(PrepareAccess(e));
-  return HandleOpStatus(e, db_->engine(e)->Scan(subs_[e].get(),
-                                                table.local_id, lower, limit,
-                                                cb));
+  Status s;
+  if (hist_) {
+    s = db_->engine(e)->Scan(
+        subs_[e].get(), table.local_id, lower, limit,
+        [&](const Key& k, const std::string& v) {
+          RecordOp(HistOpKind::kScanRow, e, table.local_id, k, v, true);
+          return cb(k, v);
+        });
+  } else {
+    s = db_->engine(e)->Scan(subs_[e].get(), table.local_id, lower, limit,
+                             cb);
+  }
+  return HandleOpStatus(e, s);
 }
 
 Status Transaction::Get(const std::string& table, const Key& key,
@@ -174,6 +236,10 @@ Status Transaction::Commit() {
   if (!used_[0] && !used_[1]) {
     state_ = State::kCommitted;
     ReleaseAnchorSlot();
+    if (hist_) {
+      hist_->outcome = TxnHistory::Outcome::kCommitted;
+      db_->recorder()->Record(std::move(hist_));
+    }
     return Status::OK();
   }
 
@@ -194,27 +260,28 @@ Status Transaction::Commit() {
     }
   }
 
+  // Write/read-only classification per engine, needed by both the commit
+  // check and the history record; valid only before post-commit.
+  bool wrote[kNumEngines] = {false, false};
+  for (int e = 0; e < kNumEngines; ++e) {
+    if (used_[e]) wrote[e] = !db_->engine(e)->IsReadOnly(subs_[e].get());
+  }
+
   // ---- Step 2: Skeena commit check. An "all-yes" pre-commit is not
   // sufficient — unlike 2PC, the transaction may still abort here.
   if (skeena_on_) {
     Status check = Status::OK();
     if (cross) {
-      bool anchor_wrote =
-          !db_->engine(anchor)->IsReadOnly(subs_[anchor].get());
-      bool other_wrote =
-          !db_->engine(other)->IsReadOnly(subs_[other].get());
-      check = db_->csr().CommitCheck(cts[anchor], cts[other], anchor_wrote,
-                                     other_wrote);
+      check = db_->csr().CommitCheck(cts[anchor], cts[other], wrote[anchor],
+                                     wrote[other]);
     } else if (used_[other]) {
       // Single-engine in the non-anchor (slow) engine: still effectively
       // cross-engine — its commit must respect the anchor's start order
       // (Section 4.3). The anchor-side commit timestamp of a transaction
       // with no anchor writes is its anchor begin snapshot.
-      bool other_wrote =
-          !db_->engine(other)->IsReadOnly(subs_[other].get());
       check = db_->csr().CommitCheck(anchor_snap_, cts[other],
                                      /*anchor_engine_wrote=*/false,
-                                     other_wrote);
+                                     wrote[other]);
     }
     // Anchor-only transactions never touch the CSR (Table 3: ERMIA-S
     // matches ERMIA).
@@ -248,6 +315,18 @@ Status Transaction::Commit() {
   if (!waiter_) waiter_ = std::make_shared<CommitWaiter>();
   db_->pipeline().EnqueueAndWait(lsns, waiter_,
                                  static_cast<size_t>(gtid_));
+  if (hist_) {
+    // Recorded only after the durability wait returns: outcome kCommitted
+    // means "acknowledged to the caller".
+    hist_->outcome = TxnHistory::Outcome::kCommitted;
+    hist_->anchor_snap = anchor_snap_;
+    for (int e = 0; e < kNumEngines; ++e) {
+      hist_->commit[e] = cts[e];
+      hist_->wrote[e] = wrote[e];
+      hist_->post_committed[e] = used_[e];
+    }
+    db_->recorder()->Record(std::move(hist_));
+  }
   return Status::OK();
 }
 
@@ -258,6 +337,10 @@ void Transaction::Abort() {
   }
   ReleaseAnchorSlot();
   state_ = State::kAborted;
+  if (hist_) {
+    hist_->outcome = TxnHistory::Outcome::kAborted;
+    db_->recorder()->Record(std::move(hist_));
+  }
 }
 
 }  // namespace skeena

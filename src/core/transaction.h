@@ -77,6 +77,9 @@ class Transaction {
   // Aborts everything after an engine-level abort surfaced from a data op.
   Status HandleOpStatus(int e, Status s);
   void ReleaseAnchorSlot();
+  // Appends one op to the history record (no-op when not recording).
+  void RecordOp(HistOpKind kind, int e, TableId table, const Key& key,
+                std::string_view value, bool found);
 
   Database* db_;
   IsolationLevel iso_;
@@ -96,6 +99,15 @@ class Transaction {
   // when the transaction object is destroyed. Allocated lazily in Commit()
   // — read-only/aborted transactions never reach the pipeline.
   std::shared_ptr<CommitWaiter> waiter_;
+
+  // Verification hook (core/history.h). Null unless the database records
+  // histories, so the disabled cost on every data op is one branch. The
+  // record is built privately here — no cross-thread traffic until the
+  // finished record files into the recorder's thread shard.
+  std::unique_ptr<TxnHistory> hist_;
+  // Engine-local snapshot in effect for the next data op (tracks
+  // read-committed refreshes); stamps each recorded op.
+  Timestamp hist_snap_[kNumEngines] = {kInvalidTimestamp, kInvalidTimestamp};
 };
 
 }  // namespace skeena

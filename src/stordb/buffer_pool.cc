@@ -98,7 +98,13 @@ void BufferPool::TransitionState(Frame* f, FrameState from, FrameState to) {
 
 void BufferPool::CompleteTicket(FlushTicket& ticket) {
   ticket.done.store(1, std::memory_order_release);
-  ParkingLot::WakeAll(ticket.done);
+  // Wake exactly one parked fetcher; each woken fetcher passes the baton
+  // to the next (see the park site). The first to re-run the fetch maps a
+  // frame and holds its exclusive latch through the reload, so the
+  // staggered later waiters take the hit path and sleep on that latch —
+  // the loaded frame is handed to them on UnlockExclusive instead of the
+  // whole herd stampeding the shard mutex at once.
+  ParkingLot::WakeOne(ticket.done);
 }
 
 Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
@@ -145,6 +151,10 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
       };
       if (!SpinUntil(flushed)) {
         while (!flushed()) ParkingLot::Park(ticket->done, 0);
+        // Baton pass: unconditional on what our own retry finds, so the
+        // chain cannot strand a waiter behind a failed reload. A wake
+        // with no one parked is a no-op.
+        ParkingLot::WakeOne(ticket->done);
       }
       continue;
     }

@@ -174,9 +174,12 @@ class BufferPool {
     uint8_t* data = nullptr;
   };
 
-  /// One in-flight dirty write-back. `done` flips 0 -> 1 (with a WakeAll)
-  /// once the old image has reached the device or the eviction was rolled
-  /// back; parked fetchers re-run the whole fetch either way.
+  /// One in-flight dirty write-back. `done` flips 0 -> 1 once the old
+  /// image has reached the device or the eviction was rolled back, then
+  /// wakes ONE parked fetcher; each woken fetcher wakes the next (baton
+  /// chain), so waiters re-run the fetch staggered instead of as a
+  /// thundering herd, and all but the first pick up the reloaded frame
+  /// from the loader's exclusive latch.
   struct FlushTicket {
     std::atomic<uint32_t> done{0};
   };

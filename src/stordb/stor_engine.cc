@@ -43,7 +43,7 @@ StorEngine::~StorEngine() {
   // Undo batches still waiting for the purge floor are freed directly: no
   // reader is left, and the epoch manager (possibly database-owned and
   // already ahead of us in destruction order) must not be touched here.
-  for (const PendingUndos& p : pending_undos_) delete p.batch;
+  for (const PendingUndos& p : pending_undos_) DeleteUndoChain(p.head);
   pending_undos_.clear();
 }
 
@@ -291,8 +291,12 @@ Status StorEngine::InstallRowVersion(StorTxn* txn, StorTable* t, Rid rid,
     undo->old_value = std::move(old_value);
     undo->old_deleted = old_hdr.deleted() || !old_hdr.in_use();
   }
-  UndoRecord* uptr = undo.get();
-  txn->undos_.push_back(std::move(undo));
+  // Ownership moves into the transaction's intrusive batch: one chain
+  // head per txn, no per-txn container allocation on the commit path.
+  UndoRecord* uptr = undo.release();
+  uptr->next_in_txn = txn->undo_head_;
+  txn->undo_head_ = uptr;
+  ++txn->undo_count_;
 
   auto page = pool_->FetchPage(MakePageId(t->id, RidPage(rid)));
   if (!page.ok()) return page.status();
@@ -465,9 +469,8 @@ void StorEngine::Abort(StorTxn* txn) {
 }
 
 void StorEngine::Rollback(StorTxn* txn) {
-  // Restore before-images newest-first.
-  for (auto it = txn->undos_.rbegin(); it != txn->undos_.rend(); ++it) {
-    UndoRecord* u = it->get();
+  // Restore before-images newest-first (the chain's natural order).
+  for (UndoRecord* u = txn->undo_head_; u != nullptr; u = u->next_in_txn) {
     StorTable* t = GetTable(RidTable(u->rid));
     auto page = pool_->FetchPage(MakePageId(t->id, RidPage(u->rid)));
     if (!page.ok()) continue;  // device error: row stays invisible (aborted)
@@ -502,14 +505,14 @@ void StorEngine::FinishTxn(StorTxn* txn) {
 
 namespace {
 // Typed deleter for a finished transaction's undo batch: one limbo entry
-// per transaction.
-void DeleteUndoBatch(void* p) {
-  delete static_cast<std::vector<std::unique_ptr<UndoRecord>>*>(p);
+// per transaction, walking the intrusive chain.
+void DeleteUndoBatchRaw(void* p) {
+  DeleteUndoChain(static_cast<UndoRecord*>(p));
 }
 }  // namespace
 
 void StorEngine::RetireUndos(StorTxn* txn) {
-  if (txn->undos_.empty()) return;
+  if (txn->undo_head_ == nullptr) return;
   // Undo images must outlive every view that may still walk them. A
   // committed transaction's undos are only walked by views older than its
   // commit order, so its ser_no is the right retire bound. An ABORTED
@@ -524,10 +527,12 @@ void StorEngine::RetireUndos(StorTxn* txn) {
   uint64_t ser = (committed && txn->ser_no_ != 0)
                      ? txn->ser_no_
                      : trx_sys_.LatestSerSnapshot() + 1;
-  auto* batch =
-      new std::vector<std::unique_ptr<UndoRecord>>(std::move(txn->undos_));
+  UndoRecord* head = txn->undo_head_;
+  size_t count = txn->undo_count_;
+  txn->undo_head_ = nullptr;
+  txn->undo_count_ = 0;
   std::lock_guard<std::mutex> guard(pending_mu_);
-  pending_undos_.push_back(PendingUndos{ser, batch});
+  pending_undos_.push_back(PendingUndos{ser, head, count});
 }
 
 void StorEngine::MaybePurge(uint64_t thread_commits) {
@@ -550,17 +555,17 @@ void StorEngine::MaybePurge(uint64_t thread_commits) {
   // Drain the ripe FIFO prefix into the epoch manager: O(ripe), not a scan
   // of everything retained. A smaller ser stuck behind a larger head just
   // waits for the floor to pass the head too — conservative, never unsafe.
-  std::vector<std::vector<std::unique_ptr<UndoRecord>>*> ripe;
+  std::vector<PendingUndos> ripe;
   {
     std::lock_guard<std::mutex> guard(pending_mu_);
     while (!pending_undos_.empty() && pending_undos_.front().ser < m) {
-      ripe.push_back(pending_undos_.front().batch);
+      ripe.push_back(pending_undos_.front());
       pending_undos_.pop_front();
     }
   }
-  for (auto* batch : ripe) {
-    undo_purged_.Add(batch->size());
-    epoch_->RetireRaw(batch, &DeleteUndoBatch);
+  for (const PendingUndos& p : ripe) {
+    undo_purged_.Add(p.count);
+    epoch_->RetireRaw(p.head, &DeleteUndoBatchRaw);
   }
   epoch_->TryAdvance();
 }

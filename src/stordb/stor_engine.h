@@ -236,7 +236,8 @@ class StorEngine {
   std::mutex pending_mu_;
   struct PendingUndos {
     uint64_t ser;
-    std::vector<std::unique_ptr<UndoRecord>>* batch;  // heap, Retire()d whole
+    UndoRecord* head;  // intrusive newest-first chain, Retire()d whole
+    size_t count;      // chain length (undo_purged diagnostic)
   };
   std::deque<PendingUndos> pending_undos_;
 

@@ -20,10 +20,38 @@ struct UndoRecord {
   Rid rid = 0;
   uint64_t old_tid = 0;
   UndoRecord* old_roll = nullptr;
+  /// Intrusive link chaining a transaction's undo batch newest-first —
+  /// the whole batch travels StorTxn → pending FIFO → epoch limbo as one
+  /// head pointer, with no per-transaction container allocation.
+  UndoRecord* next_in_txn = nullptr;
   std::string old_value;
   bool old_deleted = false;
   bool was_insert = false;  // the row did not exist before this write
+
+  UndoRecord() { live_count_.fetch_add(1, std::memory_order_relaxed); }
+  ~UndoRecord() { live_count_.fetch_sub(1, std::memory_order_relaxed); }
+  UndoRecord(const UndoRecord&) = delete;
+  UndoRecord& operator=(const UndoRecord&) = delete;
+
+  /// Undo records currently alive anywhere (active txns, pending FIFO,
+  /// epoch limbo). Reclaim tests assert this returns to zero once every
+  /// transaction has finished and purge + epoch drain have run.
+  static size_t LiveCount() {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  inline static std::atomic<size_t> live_count_{0};
 };
+
+/// Deletes a newest-first undo batch chained through `next_in_txn`.
+inline void DeleteUndoChain(UndoRecord* head) {
+  while (head != nullptr) {
+    UndoRecord* next = head->next_in_txn;
+    delete head;
+    head = next;
+  }
+}
 
 /// After-image buffered for the redo log (written at pre-commit).
 struct RedoEntry {
@@ -51,6 +79,7 @@ class StorTxn {
   };
 
   explicit StorTxn(IsolationLevel iso) : iso_(iso) {}
+  ~StorTxn() { DeleteUndoChain(undo_head_); }
 
   StorTxn(const StorTxn&) = delete;
   StorTxn& operator=(const StorTxn&) = delete;
@@ -79,7 +108,8 @@ class StorTxn {
   // (kMaxTimestamp = native view).
   uint64_t pending_ser_limit_ = kMaxTimestamp;
 
-  std::vector<std::unique_ptr<UndoRecord>> undos_;  // oldest first
+  UndoRecord* undo_head_ = nullptr;  // intrusive batch, newest first
+  size_t undo_count_ = 0;
   std::vector<RedoEntry> redo_;
   std::vector<Rid> locks_;
 };

@@ -295,6 +295,46 @@ TEST_F(BufferPoolRaceTest, FailedWriteBackRestoresVictimMapping) {
             (std::array<uint8_t, 3>{0x55, 0x55, 0x55}));
 }
 
+// (e) WakeOne baton chain: write-back completion wakes a single parked
+// fetcher and each woken fetcher passes the baton to the next, so a herd
+// parked behind one in-flight flush must drain completely — a dropped
+// baton strands a waiter and hangs this test at the joins.
+TEST_F(BufferPoolRaceTest, WakeChainDrainsEveryParkedWaiter) {
+  auto pool = MakePool(1);
+  const PageId a = MakePageId(0, 0), b = MakePageId(0, 1);
+  StampPage(pool.get(), a, 0x7e);  // dirty: eviction must write it back
+
+  device_.BlockNextWriteAt(PageOffset(0));
+  std::thread evictor([&] {
+    auto page = FetchRetry(pool.get(), b);  // evicts a, blocks in WriteAt(a)
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+  });
+  device_.WaitUntilWriteBlocked();
+
+  constexpr int kWaiters = 8;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      auto page = FetchRetry(pool.get(), a);
+      ASSERT_TRUE(page.ok()) << page.status().ToString();
+      EXPECT_EQ(SamplePage(page.value()),
+                (std::array<uint8_t, 3>{0x7e, 0x7e, 0x7e}));
+      completed.fetch_add(1);
+    });
+  }
+  // Every waiter has entered the flush-wait path at least once before the
+  // write-back is released; none may have completed a fetch.
+  while (pool->flush_waits() < kWaiters) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(completed.load(), 0);
+
+  device_.ReleaseWrites();
+  evictor.join();
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(completed.load(), kWaiters);
+  EXPECT_EQ(pool->write_backs(), 1u);
+}
+
 // Pin/evict/flush torture: capacity ≪ working set so every fetch fights
 // the evictors, one thread checkpoints concurrently, and every read
 // validates the page's uniform stamp (a torn or re-homed frame shows up as

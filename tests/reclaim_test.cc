@@ -219,6 +219,62 @@ TEST(StorReclaimTortureTest, PinnedViewNeverObservesFreedUndos) {
   EXPECT_GT(engine.epoch().FreedCount(), 0u);
 }
 
+// Undo batches are intrusive chains (UndoRecord::next_in_txn): a finished
+// write transaction hands one head pointer to the pending FIFO, with no
+// per-transaction container allocation. This asserts the whole lifecycle
+// is leak-free with an allocation count: records drain through purge +
+// epoch while running, and exactly zero UndoRecord allocations survive
+// the engine (pending FIFO, epoch limbo, and leftover txns included).
+TEST(StorReclaimTortureTest, UndoAllocationsDrainToZero) {
+  ASSERT_EQ(stordb::UndoRecord::LiveCount(), 0u);
+  {
+    StorEngine::Options opts;
+    opts.enable_logging = false;
+    opts.purge_interval = 16;  // let a pending backlog build up
+    StorEngine engine(nullptr, opts);
+    TableId t = engine.CreateTable("drain", 64);
+
+    uint64_t gtid = 1;
+    auto commit_put = [&](int key, const std::string& value) {
+      auto txn = engine.Begin(IsolationLevel::kSnapshot);
+      ASSERT_TRUE(engine.Put(txn.get(), t, MakeKey(key), value).ok());
+      ASSERT_TRUE(engine.PreCommit(txn.get(), gtid, false).ok());
+      engine.PostCommit(txn.get(), gtid, false);
+      ++gtid;
+    };
+
+    // Mixed commits and aborts stack undo records on a few rows; the
+    // abort retire path tags batches with the live counter, so they need
+    // later commits before the floor passes them.
+    for (int i = 0; i < 64; ++i) {
+      if (i % 5 == 0) {
+        auto txn = engine.Begin(IsolationLevel::kSnapshot);
+        ASSERT_TRUE(engine.Put(txn.get(), t, MakeKey(i % 8), "doomed").ok());
+        engine.Abort(txn.get());
+      } else {
+        commit_put(i % 8, "v" + std::to_string(i));
+      }
+    }
+    size_t live_after_churn = stordb::UndoRecord::LiveCount();
+    ASSERT_GT(live_after_churn, 0u);
+
+    // No active views: further commits push the purge floor past the
+    // backlog and the epoch manager frees the ripe chains while the
+    // engine is still running.
+    for (int i = 0; i < 64; ++i) commit_put(i % 8, "drain");
+    for (int i = 0; i < 4; ++i) engine.epoch().TryAdvance();
+    EXPECT_LT(stordb::UndoRecord::LiveCount(), live_after_churn);
+    EXPECT_GT(engine.stats().undo_purged, 0u);
+
+    // A transaction destroyed while still holding its batch (never
+    // finished) must free it in the StorTxn destructor.
+    auto leftover = engine.Begin(IsolationLevel::kSnapshot);
+    ASSERT_TRUE(engine.Put(leftover.get(), t, MakeKey(0), "leftover").ok());
+    engine.Abort(leftover.get());
+  }
+  EXPECT_EQ(stordb::UndoRecord::LiveCount(), 0u);
+}
+
 // ------------------------------------------------- shared domain (Database)
 
 // One Database-owned epoch domain covers the CSR, memdb versions and
