@@ -12,6 +12,12 @@
 
 #include "bench/common/bench_harness.h"
 
+#include <atomic>
+#include <thread>
+
+#include "log/log_manager.h"
+#include "log/uring_queue.h"
+
 namespace skeena::bench {
 namespace {
 
@@ -85,10 +91,146 @@ void Run() {
     }
   }
 
+  // ---- Raw-speed log path: flush backend x group-commit window --------
+  // Engine logs on real files (tables stay in memory), comparing the
+  // synchronous pwrite file device against the segmented writer with and
+  // without io_uring, across fixed and adaptive commit windows.
+  auto backend_tput = std::make_shared<ResultMatrix>(
+      "Ablation: log flush backend x commit window (commits/s)", "Backend");
+  auto backend_p99 = std::make_shared<ResultMatrix>(
+      "Ablation: log flush backend (p99 commit latency, ms)", "Backend");
+  auto backend_wakes = std::make_shared<ResultMatrix>(
+      "Ablation: log flush backend (syscall wakeups / commit)", "Backend");
+  auto backend_flushes = std::make_shared<ResultMatrix>(
+      "Ablation: log flush backend (log flushes / commit)", "Backend");
+
+  struct Backend {
+    std::string label;
+    MicroConfig::LogDisk disk;
+  };
+  std::vector<Backend> backends = {
+      {"sync pwrite file", MicroConfig::LogDisk::kFilePwrite},
+      {"segmented", MicroConfig::LogDisk::kSegmented},
+  };
+  if (UringQueue::Supported()) {
+    backends.push_back(
+        {"segmented + io_uring", MicroConfig::LogDisk::kSegmentedUring});
+  } else {
+    std::printf(
+        "note: io_uring unavailable (kernel/build); backend row skipped\n");
+  }
+
+  struct Window {
+    std::string label;
+    uint64_t base_us;
+    uint64_t max_us;
+    bool adaptive;
+  };
+  std::vector<Window> windows = {
+      {"fixed 50us", 50, 50, false},
+      {"fixed 1000us", 1000, 1000, false},
+      {"adaptive 50-1000us", 50, 1000, true},
+  };
+
+  const int log_conns = scale.connections.back();
+  for (const auto& b : backends) {
+    for (const auto& w : windows) {
+      RegisterCell(
+          "AblationLogBackend/" + b.label + "/" + w.label, [=, &cache] {
+            MicroConfig cfg = ScaledMicroConfig(MicroConfig{}, scale);
+            cfg.read_pct = 80;
+            cfg.stor_pct = 50;
+            cfg.pool_fraction = 2.0;
+            cfg.log_disk = b.disk;
+            cfg.log.flush_interval_us = w.base_us;
+            cfg.log.max_flush_interval_us = w.max_us;
+            cfg.log.adaptive_flush = w.adaptive;
+            MicroWorkload* wl = cache.Get(cfg, true);
+            Database* db = wl->db();
+            CommitPipeline::Stats before = db->pipeline().stats();
+            uint64_t flushes_before =
+                db->mem()->engine()->log()->flush_batches() +
+                db->stor()->engine()->log()->flush_batches();
+            RunResult r = RunWorkload(
+                log_conns, scale.duration_ms,
+                [wl](int t, Rng& rng, uint64_t* q) {
+                  return wl->RunOneTxn(t, rng, q);
+                });
+            CommitPipeline::Stats after = db->pipeline().stats();
+            uint64_t flushes =
+                db->mem()->engine()->log()->flush_batches() +
+                db->stor()->engine()->log()->flush_batches() - flushes_before;
+            uint64_t done = after.completed - before.completed;
+            uint64_t wakes = (after.wake_syscalls - before.wake_syscalls) +
+                             (after.daemon_wakes - before.daemon_wakes);
+            backend_tput->Set(b.label, w.label, r.Tps());
+            backend_p99->Set(
+                b.label, w.label,
+                static_cast<double>(r.latency.Percentile(99)) / 1e6);
+            backend_wakes->Set(b.label, w.label,
+                               done == 0 ? 0.0
+                                         : static_cast<double>(wakes) /
+                                               static_cast<double>(done));
+            backend_flushes->Set(b.label, w.label,
+                                 done == 0 ? 0.0
+                                           : static_cast<double>(flushes) /
+                                                 static_cast<double>(done));
+            return r;
+          });
+    }
+  }
+
+  // ---- Contended append: the lock-free reservation ring ---------------
+  // Raw LogManager::Append throughput with no commit waiting: more
+  // appenders must not collapse below a single appender (the old
+  // mutex-staged buffer serialized here).
+  auto append_matrix = std::make_shared<ResultMatrix>(
+      "Ablation: contended log append (appends/s on the reservation ring)",
+      "Threads");
+  for (int threads : {1, 2, 4, 8}) {
+    RegisterCell(
+        "LogAppendContention/threads:" + std::to_string(threads), [=] {
+          LogManager::Options lo;
+          lo.buffer_bytes = 1 << 20;
+          LogManager log(std::make_unique<MemDevice>(), lo);
+          std::atomic<bool> stop{false};
+          std::atomic<uint64_t> total{0};
+          std::vector<std::thread> workers;
+          for (int t = 0; t < threads; ++t) {
+            workers.emplace_back([&] {
+              const std::string payload(120, 'x');
+              const std::span<const uint8_t> bytes{
+                  reinterpret_cast<const uint8_t*>(payload.data()),
+                  payload.size()};
+              uint64_t n = 0;
+              while (!stop.load(std::memory_order_relaxed)) {
+                log.Append(bytes);
+                ++n;
+              }
+              total.fetch_add(n, std::memory_order_relaxed);
+            });
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(scale.duration_ms));
+          stop.store(true, std::memory_order_relaxed);
+          for (auto& th : workers) th.join();
+          RunResult r;
+          r.seconds = static_cast<double>(scale.duration_ms) / 1000.0;
+          r.commits = total.load();
+          append_matrix->Set(std::to_string(threads), "appends/s", r.Tps());
+          return r;
+        });
+  }
+
   ::benchmark::RunSpecifiedBenchmarks();
   matrix->Print();
   wakeups->Print(3);
   parks->Print(3);
+  backend_tput->Print();
+  backend_p99->Print(3);
+  backend_wakes->Print(3);
+  backend_flushes->Print(3);
+  append_matrix->Print();
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include "bench/common/micro.h"
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <thread>
 
 #include "common/env.h"
+#include "log/segmented_device.h"
 #include "stordb/page.h"
 
 namespace skeena::bench {
@@ -38,6 +41,37 @@ MicroWorkload::MicroWorkload(const MicroConfig& config, bool skeena_on,
   opts.anchor = config.anchor;
   opts.log_latency = config.log_latency;
   opts.record_history = config.record_history;
+  opts.mem.log = config.log;
+  opts.stor.log = config.log;
+  if (config.log_disk != MicroConfig::LogDisk::kNone) {
+    // Only the engine logs go to disk: data_dir stays empty so tables and
+    // catalog stay on MemDevices and the WAL write path is what's measured.
+    static std::atomic<uint64_t> wal_seq{0};
+    log_dir_ = (std::filesystem::temp_directory_path() /
+                ("skeena_bench_wal_" +
+                 std::to_string(wal_seq.fetch_add(1))))
+                   .string();
+    std::filesystem::remove_all(log_dir_);
+    std::filesystem::create_directories(log_dir_);
+    const std::string dir = log_dir_;
+    const MicroConfig::LogDisk disk = config.log_disk;
+    const DeviceLatency latency = config.log_latency;
+    opts.log_device_factory =
+        [dir, disk, latency](
+            const std::string& name) -> std::unique_ptr<StorageDevice> {
+      if (disk == MicroConfig::LogDisk::kFilePwrite) {
+        auto dev = FileDevice::Open(dir + "/" + name, latency);
+        if (dev.ok()) return std::move(dev.value());
+        return std::make_unique<MemDevice>(latency);
+      }
+      SegmentedLogDevice::Options seg;
+      seg.use_io_uring = disk == MicroConfig::LogDisk::kSegmentedUring;
+      seg.latency = latency;
+      auto dev = SegmentedLogDevice::Open(dir + "/" + name, seg);
+      if (dev.ok()) return std::move(dev.value());
+      return std::make_unique<MemDevice>(latency);
+    };
+  }
   size_t needed = StorPagesNeeded(config);
   size_t pool = static_cast<size_t>(static_cast<double>(needed) *
                                     config.pool_fraction);
@@ -82,6 +116,14 @@ MicroWorkload::MicroWorkload(const MicroConfig& config, bool skeena_on,
     });
   }
   for (auto& th : threads) th.join();
+}
+
+MicroWorkload::~MicroWorkload() {
+  if (!log_dir_.empty()) {
+    db_.reset();  // close the WAL devices before removing their files
+    std::error_code ec;
+    std::filesystem::remove_all(log_dir_, ec);
+  }
 }
 
 void MicroWorkload::SetAccessPattern(const MicroConfig& cfg) {

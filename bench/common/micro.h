@@ -38,6 +38,17 @@ struct MicroConfig {
   EngineKind anchor = EngineKind::kMem;
   DeviceLatency log_latency = DeviceLatency::Tmpfs();
 
+  /// Log write-path ablation (bench/ablation_commit.cc): kNone keeps the
+  /// default in-memory log devices; the others put ONLY the engine logs on
+  /// real files under a fresh temp dir (tables stay in memory so the log
+  /// path is what's measured).
+  enum class LogDisk { kNone, kFilePwrite, kSegmented, kSegmentedUring };
+  LogDisk log_disk = LogDisk::kNone;
+
+  /// Group-commit window knobs, applied to both engines' logs (the
+  /// batch-window axis of the flush-backend ablation).
+  LogManager::Options log;
+
   // Verification-hook cost measurement (bench/recording_overhead.cc).
   bool record_history = false;
 };
@@ -54,6 +65,7 @@ class MicroWorkload {
   /// same amount of data as InnoDB").
   MicroWorkload(const MicroConfig& config, bool skeena_on,
                 DeviceLatency data_latency = DeviceLatency::Tmpfs());
+  ~MicroWorkload();
 
   /// Executes one transaction: `stor_ops` accesses to stordb tables, the
   /// rest to memdb tables; reads and updates interleaved per read_pct.
@@ -71,6 +83,7 @@ class MicroWorkload {
 
  private:
   MicroConfig config_;
+  std::string log_dir_;  // temp WAL dir when log_disk != kNone
   std::unique_ptr<Database> db_;
   std::vector<TableHandle> mem_tables_;
   std::vector<TableHandle> stor_tables_;

@@ -51,8 +51,8 @@ if doc["bench"] == "ablation_commit":
     # The parking-lot wakeup accounting must be present for every protocol
     # variant: syscall-wakeups-per-commit and waiter-parks-per-commit
     # matrices, with sane (non-negative, finite) values.
-    wake = [p for p in doc["points"] if "wakeups" in p["matrix"]]
-    parks = [p for p in doc["points"] if "parks" in p["matrix"]]
+    wake = [p for p in doc["points"] if "commit wakeups" in p["matrix"]]
+    parks = [p for p in doc["points"] if "commit waits" in p["matrix"]]
     assert wake, "no wakeup-count points in BENCH_ablation_commit.json"
     assert parks, "no park-count points in BENCH_ablation_commit.json"
     expected_rows = {"pipelined, 1 queue", "pipelined, 4 queues",
@@ -66,6 +66,35 @@ if doc["bench"] == "ablation_commit":
     assert all(v == 0 for v in sync_wakes), \
         f"sync mode issued completion wakeups: {sync_wakes}"
     print(f"  OK wakeup fields: {len(wake)} wakeup + {len(parks)} park points")
+    # Raw-speed log path: the flush-backend x commit-window matrices must
+    # cover every metric for the pwrite and segmented rows (the io_uring row
+    # is present only where the kernel supports it), and the contended-append
+    # matrix must show the reservation ring not collapsing under threads.
+    backend = [p for p in doc["points"] if "log flush backend" in p["matrix"]]
+    assert backend, "no flush-backend points in BENCH_ablation_commit.json"
+    backend_rows = {p["row"] for p in backend}
+    assert {"sync pwrite file", "segmented"} <= backend_rows, \
+        f"missing flush-backend rows: {backend_rows}"
+    backend_metrics = {p["matrix"] for p in backend}
+    assert len(backend_metrics) == 4, \
+        f"expected commits/s, p99, wakeups and flushes matrices: {backend_metrics}"
+    for p in backend:
+        assert 0 <= p["value"] < 1e9, f"absurd flush-backend value {p}"
+    tput = [p for p in backend if "commits/s" in p["matrix"]]
+    assert tput and all(p["value"] > 0 for p in tput), \
+        "flush-backend throughput cells must be positive"
+    append = [p for p in doc["points"] if "contended log append" in p["matrix"]]
+    append_rows = {p["row"] for p in append}
+    assert {"1", "2", "4", "8"} <= append_rows, \
+        f"missing contended-append thread rows: {append_rows}"
+    assert all(p["value"] > 0 for p in append), \
+        "contended-append cells must record appends"
+    one = max(p["value"] for p in append if p["row"] == "1")
+    many = max(p["value"] for p in append if p["row"] in ("4", "8"))
+    assert many >= 0.5 * one, \
+        f"append throughput collapsed under contention: 1t={one} multi={many}"
+    print(f"  OK log-backend fields: {len(backend)} backend + "
+          f"{len(append)} append points")
 if doc["bench"] == "eviction_pressure":
     # The buffer-pool frame-lifecycle cost matrix: every coverage row must
     # be present in the throughput matrix, hit ratios must be sane

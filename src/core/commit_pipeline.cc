@@ -39,19 +39,19 @@ CommitPipeline::~CommitPipeline() {
   // zero completes every such entry, and a completed waiter cannot
   // re-park (it rechecks done() before any park). Only after that is it
   // safe to free the queues and stat counters the exiting waiters touch.
+  // With the daemons joined, this thread is the queues' single consumer.
   while (true) {
     for (auto& q : queues_) {
-      {
-        std::lock_guard<std::mutex> guard(q->mu);
-        for (Entry& e : q->entries) {
-          for (int i = 0; i < 2; ++i) {
-            if (e.lsns[i] != 0 && engines_[i] != nullptr) {
-              engines_[i]->FlushLog();
-            }
+      std::deque<PendingCommit> left;
+      DrainInto(*q, left);
+      for (PendingCommit& e : left) {
+        for (int i = 0; i < 2; ++i) {
+          if (e.lsns[i] != 0 && engines_[i] != nullptr) {
+            engines_[i]->FlushLog();
           }
-          if (e.waiter != nullptr) e.waiter->Complete();
         }
-        q->entries.clear();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (e.waiter != nullptr) e.waiter->Complete();
       }
       // Release anyone still parked on the drain word (same bump-then-
       // check-waiters order as the daemon, so the syscall is elided when
@@ -66,6 +66,55 @@ CommitPipeline::~CommitPipeline() {
     // than spinning the sweep.
     std::this_thread::yield();
   }
+}
+
+CommitPipeline::Entry* CommitPipeline::TryPop(Queue& q) {
+  Entry* head = q.head;
+  Entry* next = head->next.load(std::memory_order_acquire);
+  if (head == &q.stub) {
+    if (next == nullptr) return nullptr;  // empty, or a producer mid-push
+    q.head = next;
+    head = next;
+    next = head->next.load(std::memory_order_acquire);
+  }
+  if (next != nullptr) {
+    q.head = next;
+    return head;
+  }
+  // `head` looks like the last node. If tail says otherwise, a producer
+  // has exchanged tail but not yet linked next — report empty and let the
+  // caller retry off `pending`.
+  if (q.tail.load(std::memory_order_acquire) != head) return nullptr;
+  // Sole node: push the stub back so `head` can be taken out.
+  q.stub.next.store(nullptr, std::memory_order_relaxed);
+  Entry* prev = q.tail.exchange(&q.stub, std::memory_order_acq_rel);
+  prev->next.store(&q.stub, std::memory_order_release);
+  next = head->next.load(std::memory_order_acquire);
+  if (next != nullptr) {
+    q.head = next;
+    return head;
+  }
+  // A producer slipped in between the tail read and our exchange: the
+  // chain will read head -> its node -> stub once its link store lands;
+  // report empty and let the caller retry off `pending`.
+  return nullptr;
+}
+
+size_t CommitPipeline::DrainInto(Queue& q, std::deque<PendingCommit>& out) {
+  size_t popped = 0;
+  while (Entry* node = TryPop(q)) {
+    PendingCommit e;
+    e.lsns[0] = node->lsns[0];
+    e.lsns[1] = node->lsns[1];
+    e.waiter = std::move(node->waiter);
+    delete node;
+    out.push_back(std::move(e));
+    ++popped;
+  }
+  if (popped > 0) {
+    q.pending.fetch_sub(popped, std::memory_order_seq_cst);
+  }
+  return popped;
 }
 
 bool CommitPipeline::Covered(const Lsn lsns[2]) const {
@@ -90,6 +139,7 @@ void CommitPipeline::Enqueue(const Lsn lsns[2],
       }
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_inline_.Add(1);
     if (waiter != nullptr && waiter->Complete()) wake_syscalls_.Add(1);
     return;
   }
@@ -97,24 +147,31 @@ void CommitPipeline::Enqueue(const Lsn lsns[2],
     // Both logs already durable: complete inline, skip the queue entirely
     // (no daemon round-trip, no wakeup).
     completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_inline_.Add(1);
     if (waiter != nullptr && waiter->Complete()) wake_syscalls_.Add(1);
     return;
   }
   Queue& q = QueueFor(queue_hint);
-  bool was_empty;
-  {
-    std::lock_guard<std::mutex> guard(q.mu);
-    was_empty = q.entries.empty();
-    Entry e;
-    e.lsns[0] = lsns[0];
-    e.lsns[1] = lsns[1];
-    e.waiter = std::move(waiter);
-    q.entries.push_back(std::move(e));
-  }
+  Entry* e = new Entry;
+  e->lsns[0] = lsns[0];
+  e->lsns[1] = lsns[1];
+  e->waiter = std::move(waiter);
+  // Bump pending before the push: the 0 -> 1 edge elects this producer as
+  // the one waker, and a daemon about to park re-reads pending after
+  // publishing daemon_parked, so either it sees our count or we see its
+  // parked flag.
+  const uint64_t pending_before =
+      q.pending.fetch_add(1, std::memory_order_seq_cst);
+  // Wait-free MPSC push: one exchange claims the tail slot, one release
+  // store links it. No producer lock, no daemon swap lock — a preempted
+  // producer stalls nobody except the consumer's final hop to its node.
+  Entry* prev = q.tail.exchange(e, std::memory_order_acq_rel);
+  prev->next.store(e, std::memory_order_release);
+  enqueued_.Add(1);
   // Wake the daemon only on the empty → non-empty transition, and only
   // when it actually parked — a busy daemon keeps draining without
   // per-enqueue syscalls.
-  if (was_empty) {
+  if (pending_before == 0) {
     q.work_seq.fetch_add(1, std::memory_order_seq_cst);
     if (q.daemon_parked.load(std::memory_order_seq_cst) != 0) {
       ParkingLot::WakeOne(q.work_seq);
@@ -174,27 +231,24 @@ void CommitPipeline::DaemonLoop(size_t queue_idx) {
   Queue& q = *queues_[queue_idx];
   // Drain accumulator; uncovered absorbed entries carry over between
   // iterations, so it can be non-empty at loop top.
-  std::deque<Entry> batch;
+  std::deque<PendingCommit> batch;
   while (true) {
     // Read the work sequence before checking the queue: an enqueue that
-    // races past the swap bumps it, so the park below returns immediately.
+    // races past the drain bumps it, so the park below returns immediately.
     uint32_t seq = q.work_seq.load(std::memory_order_acquire);
-    {
-      std::lock_guard<std::mutex> guard(q.mu);
-      while (!q.entries.empty()) {
-        batch.push_back(std::move(q.entries.front()));
-        q.entries.pop_front();
-      }
-    }
+    DrainInto(q, batch);
     if (batch.empty()) {
       if (stop_.load(std::memory_order_acquire)) return;
-      q.daemon_parked.store(1, std::memory_order_seq_cst);
-      bool still_empty;
-      {
-        std::lock_guard<std::mutex> guard(q.mu);
-        still_empty = q.entries.empty();
+      if (q.pending.load(std::memory_order_seq_cst) != 0) {
+        // A producer is mid-push (counted, not yet linked): its node is a
+        // few instructions away, so spin rather than park.
+        handoff_spins_.Add(1);
+        CpuRelax();
+        continue;
       }
-      if (still_empty && !stop_.load(std::memory_order_acquire)) {
+      q.daemon_parked.store(1, std::memory_order_seq_cst);
+      if (q.pending.load(std::memory_order_seq_cst) == 0 &&
+          !stop_.load(std::memory_order_acquire)) {
         ParkingLot::Park(q.work_seq, seq);
       }
       q.daemon_parked.store(0, std::memory_order_relaxed);
@@ -206,7 +260,7 @@ void CommitPipeline::DaemonLoop(size_t queue_idx) {
     // WaitDurable blocks on the engine's group-commit flusher, so the
     // daemon — not the workers — absorbs the log-flush latency.
     Lsn need[2] = {0, 0};
-    for (const Entry& e : batch) {
+    for (const PendingCommit& e : batch) {
       need[0] = std::max(need[0], e.lsns[0]);
       need[1] = std::max(need[1], e.lsns[1]);
     }
@@ -218,16 +272,10 @@ void CommitPipeline::DaemonLoop(size_t queue_idx) {
     // Absorb entries that arrived during the wait: the ones this advance
     // already covers complete in the same pass — and share its single
     // unpark — instead of waiting out another flush round.
-    {
-      std::lock_guard<std::mutex> guard(q.mu);
-      while (!q.entries.empty()) {
-        batch.push_back(std::move(q.entries.front()));
-        q.entries.pop_front();
-      }
-    }
-    std::deque<Entry> covered;
-    std::deque<Entry> leftover;
-    for (Entry& e : batch) {
+    DrainInto(q, batch);
+    std::deque<PendingCommit> covered;
+    std::deque<PendingCommit> leftover;
+    for (PendingCommit& e : batch) {
       if (Covered(e.lsns)) {
         covered.push_back(std::move(e));
       } else {
@@ -239,7 +287,7 @@ void CommitPipeline::DaemonLoop(size_t queue_idx) {
     // from EnqueueAndWait must already be reflected in completed().
     completed_.fetch_add(covered.size(), std::memory_order_relaxed);
     drain_batches_.Add(1);
-    for (Entry& e : covered) {
+    for (PendingCommit& e : covered) {
       if (e.waiter != nullptr && e.waiter->Complete()) {
         wake_syscalls_.Add(1);
       }
@@ -263,6 +311,9 @@ CommitPipeline::Stats CommitPipeline::stats() const {
   s.waiter_parks = waiter_parks_.Read();
   s.waiter_spin_successes = waiter_spin_successes_.Read();
   s.drain_batches = drain_batches_.Read();
+  s.enqueued = enqueued_.Read();
+  s.completed_inline = completed_inline_.Read();
+  s.handoff_spins = handoff_spins_.Read();
   return s;
 }
 

@@ -117,6 +117,15 @@ class CommitPipeline {
     uint64_t waiter_spin_successes = 0;
     /// Daemon drain passes that completed >= 1 transaction.
     uint64_t drain_batches = 0;
+    /// Entries pushed onto a commit queue via the wait-free MPSC exchange.
+    uint64_t enqueued = 0;
+    /// Completions that never touched a queue: both logs already durable
+    /// at Enqueue, or kSync mode. Once drained,
+    /// completed == enqueued + completed_inline.
+    uint64_t completed_inline = 0;
+    /// Daemon retries that found a producer mid-push (tail exchanged, next
+    /// pointer not yet linked) — the only wait anywhere in the handoff.
+    uint64_t handoff_spins = 0;
   };
 
   CommitPipeline(Options options, EngineIface* engine0, EngineIface* engine1);
@@ -149,13 +158,42 @@ class CommitPipeline {
   Stats stats() const;
 
  private:
+  /// Commit-queue node. Producer-allocated, consumer-freed; `next` is the
+  /// intrusive MPSC link.
   struct Entry {
+    Lsn lsns[2] = {0, 0};
+    std::shared_ptr<CommitWaiter> waiter;
+    std::atomic<Entry*> next{nullptr};
+  };
+  /// A drained entry's payload (the node itself is already freed).
+  struct PendingCommit {
     Lsn lsns[2];
     std::shared_ptr<CommitWaiter> waiter;
   };
   struct Queue {
-    std::mutex mu;
-    std::deque<Entry> entries;
+    /// Intrusive MPSC list (Vyukov): producers push with one wait-free
+    /// exchange on `tail` + a release store linking `next`; the daemon is
+    /// the single consumer walking from `head`. `stub` keeps the list
+    /// non-empty so neither side ever needs a CAS loop. There is no
+    /// producer lock and no daemon swap lock.
+    Entry stub;
+    std::atomic<Entry*> tail{&stub};
+    Entry* head = &stub;  // consumer-only
+
+    ~Queue() {
+      // Free anything never drained (callers must not race Enqueue with
+      // pipeline destruction, but a leak here would mask that bug in ASan).
+      Entry* node = head;
+      while (node != nullptr) {
+        Entry* next = node->next.load(std::memory_order_relaxed);
+        if (node != &stub) delete node;
+        node = next;
+      }
+    }
+    /// Entries pushed but not yet drained. Producers bump it *before* the
+    /// push; the 0 -> 1 edge elects the waker, and the daemon parks only
+    /// after re-reading it as zero.
+    std::atomic<uint64_t> pending{0};
     /// Daemon work word: bumped on empty→non-empty enqueue and at
     /// shutdown; the daemon parks here when its queue is empty.
     std::atomic<uint32_t> work_seq{0};
@@ -172,6 +210,14 @@ class CommitPipeline {
 
   /// True when both engines' durable LSNs already cover `lsns`.
   bool Covered(const Lsn lsns[2]) const;
+
+  /// Single-consumer pop. Returns nullptr when the queue is empty — or
+  /// when a producer has exchanged `tail` but not yet linked `next` (the
+  /// caller distinguishes via `pending` and retries). Caller frees the
+  /// returned node.
+  static Entry* TryPop(Queue& q);
+  /// Drains everything poppable right now into `out`; returns the count.
+  size_t DrainInto(Queue& q, std::deque<PendingCommit>& out);
 
   void DaemonLoop(size_t queue_idx);
 
@@ -191,6 +237,9 @@ class CommitPipeline {
   ShardedCounter waiter_parks_;
   ShardedCounter waiter_spin_successes_;
   ShardedCounter drain_batches_;
+  ShardedCounter enqueued_;
+  ShardedCounter completed_inline_;
+  ShardedCounter handoff_spins_;
 };
 
 }  // namespace skeena

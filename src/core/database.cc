@@ -6,6 +6,7 @@
 
 #include "core/transaction.h"
 #include "log/log_records.h"
+#include "log/segmented_device.h"
 
 namespace skeena {
 
@@ -25,6 +26,31 @@ std::unique_ptr<StorageDevice> MakeDevice(const std::string& data_dir,
   return std::move(dev.value());
 }
 
+/// Builds an engine's WAL device per DatabaseOptions::log_backend. The
+/// segmented backend opens a *directory* named after the log
+/// ("<data_dir>/mem.log/" holding wal.NNNNNNNN.seg files); if that path is
+/// a plain file left by a kFile run, opening the directory fails and we
+/// fall back to the legacy single-file layout so old data dirs keep
+/// working.
+std::unique_ptr<StorageDevice> MakeLogDevice(const DatabaseOptions& options,
+                                             const std::string& name) {
+  if (options.log_device_factory) return options.log_device_factory(name);
+  if (options.data_dir.empty()) {
+    return std::make_unique<MemDevice>(options.log_latency);
+  }
+  std::filesystem::create_directories(options.data_dir);
+  if (options.log_backend == DatabaseOptions::LogBackend::kSegmented) {
+    SegmentedLogDevice::Options seg;
+    seg.segment_bytes = options.log_segment_bytes;
+    seg.use_io_uring = options.log_io_uring;
+    seg.use_direct_io = options.log_direct_io;
+    seg.latency = options.log_latency;
+    auto dev = SegmentedLogDevice::Open(options.data_dir + "/" + name, seg);
+    if (dev.ok()) return std::move(dev.value());
+  }
+  return MakeDevice(options.data_dir, name, options.log_latency);
+}
+
 }  // namespace
 
 Database::Database(DatabaseOptions options)
@@ -42,11 +68,9 @@ Database::Database(DatabaseOptions options)
   // Both engines share the database-owned epoch domain, so one grace
   // period covers CSR partition lists, memdb versions and stordb undos.
   mem_owned_ = std::make_unique<MemEngineAdapter>(
-      MakeDevice(options_.data_dir, "mem.log", options_.log_latency),
-      options_.mem, &epoch_);
+      MakeLogDevice(options_, "mem.log"), options_.mem, &epoch_);
   stor_owned_ = std::make_unique<StorEngineAdapter>(
-      MakeDevice(options_.data_dir, "stor.log", options_.log_latency),
-      options_.stor, &epoch_);
+      MakeLogDevice(options_, "stor.log"), options_.stor, &epoch_);
   mem_ = mem_owned_.get();
   stor_ = stor_owned_.get();
   engines_[static_cast<int>(EngineKind::kMem)] = mem_;

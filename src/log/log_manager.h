@@ -12,36 +12,105 @@
 #include <vector>
 
 #include "common/parking_lot.h"
+#include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "log/storage_device.h"
 
 namespace skeena {
 
+/// Frame header: [u32 payload length][u32 payload check]. The check lets
+/// recovery distinguish a torn tail (partial frame, arbitrary bytes) from a
+/// complete record, which matters once the log lives in preallocated
+/// segments whose unwritten tail reads as zeros — a zero length is the
+/// end-of-log sentinel, a bad check is a torn frame.
+inline constexpr size_t kLogFrameHeaderSize = 2 * sizeof(uint32_t);
+
+/// Per-frame payload check (FNV-1a seeded with the length). Not a
+/// cryptographic digest: it only has to make a torn/stale tail byte pattern
+/// vanishingly unlikely to parse as a valid frame.
+uint32_t LogFrameCheck(std::span<const uint8_t> payload);
+
 /// Append-only write-ahead log with group commit.
 ///
-/// Workers append framed records into an in-memory staging buffer and
+/// Workers append framed records into an in-memory reservation ring and
 /// immediately continue — this is the foundation of the pipelined commit
 /// protocol (paper Section 4.5, after Aether [34]): transactions never wait
-/// for their own flush; a background flusher batches the staging buffer to
+/// for their own flush; a background flusher batches the completed prefix to
 /// the device and advances `durable_lsn()`, which Skeena's committer daemon
-/// polls to decide when a cross-engine transaction's results may be
+/// parks on to decide when a cross-engine transaction's results may be
 /// released to the client.
+///
+/// Append fast path (no mutex, no shared writes beyond three atomics):
+///  1. one fetch_add on the reservation word claims [lsn-len, lsn);
+///  2. the frame is memcpy'd into the ring at `lsn % capacity`;
+///  3. completion publishes via a release fetch_add on the per-block
+///     release count covering the claimed bytes.
+/// The flusher walks blocks from the flushed prefix: a block whose release
+/// count equals its reserved span is fully copied (release counts are read
+/// *before* the reservation word, so a count can never appear complete on
+/// the strength of bytes reserved later). Ring space is recycled once the
+/// prefix is on the device; appenders that outrun the flusher spin-then-park
+/// on a space eventcount (one fetch_add per flush, no syscall when nobody
+/// waits).
 ///
 /// LSNs are byte offsets: a record's LSN is the offset one past its last
 /// byte, so `durable_lsn() >= lsn` means the record is fully persistent.
+///
+/// On construction the log scans the device's frames and truncates a torn
+/// tail (a crash mid-flush must not leave garbage that a later append would
+/// bury mid-log), resuming LSN allocation at the valid end.
 class LogManager {
  public:
   struct Options {
-    /// Flusher wake-up period when idle.
+    /// Minimum (and initial) group-commit window: the flusher batches at
+    /// least this long before flushing, unless the watermark trips first.
     uint64_t flush_interval_us = 50;
+    /// Adaptive ceiling: under sustained load the window grows toward this
+    /// latency budget so each device sync amortizes over more commits; it
+    /// collapses back to flush_interval_us when the log goes idle.
+    uint64_t max_flush_interval_us = 1000;
+    /// Grow/collapse the window between the two bounds above; when false
+    /// the window is pinned at flush_interval_us (the pre-adaptive
+    /// behaviour, used by latency-sensitive ablations).
+    bool adaptive_flush = true;
     /// Flush as soon as this many staged bytes accumulate.
     size_t flush_watermark = 64 * 1024;
+    /// Reservation ring capacity (rounded up to a power of two, min 64 KiB).
+    /// With auto_flush off, the total un-flushed bytes must stay under
+    /// capacity minus one block or Append parks forever.
+    size_t buffer_bytes = 1 << 20;
+    /// Completion-tracking granularity (rounded to a power of two dividing
+    /// the capacity). Smaller blocks let the flusher ship a prefix sooner
+    /// when a straggling appender is still copying; larger blocks cost
+    /// fewer release-count updates per append.
+    size_t block_bytes = 32 * 1024;
     /// Issue a device Sync() after each flush batch.
     bool sync_on_flush = true;
     /// When false the background flusher never runs; only explicit Flush()
     /// advances durability (tests of durability gating).
     bool auto_flush = true;
+  };
+
+  /// Raw-speed counters (relaxed increments; folded on read). Ratios like
+  /// bytes/flush or the inter-flush gap are left to the caller.
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t append_bytes = 0;  // framed bytes (payload + headers)
+    uint64_t flushes = 0;
+    uint64_t flushed_bytes = 0;
+    uint64_t max_batch_bytes = 0;
+    /// Appends that waited for ring space (flusher behind).
+    uint64_t space_waits = 0;
+    /// Adaptive group-commit window: current value and transition counts.
+    uint64_t window_us = 0;
+    uint64_t window_grows = 0;
+    uint64_t window_shrinks = 0;
+    /// Sum of steady-clock gaps between consecutive flush batches.
+    uint64_t flush_gap_ns_total = 0;
+    /// Sum over flushes of the staged depth (reserved - flushed) when the
+    /// flush began: the in-flight bytes each batch found waiting.
+    uint64_t staged_at_flush_total = 0;
   };
 
   explicit LogManager(std::unique_ptr<StorageDevice> device);
@@ -51,12 +120,13 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
-  /// Appends one framed record; returns its LSN. Thread-safe, non-blocking
-  /// (no I/O on the caller's path).
+  /// Appends one framed record; returns its LSN. Thread-safe, lock-free on
+  /// the fast path (no I/O, no mutex; parks only when the ring is full).
+  /// Records must be non-empty and smaller than the ring minus one block.
   Lsn Append(std::span<const uint8_t> record);
 
-  /// LSN one past the last appended byte.
-  Lsn CurrentLsn() const { return next_lsn_.load(std::memory_order_acquire); }
+  /// LSN one past the last reserved byte.
+  Lsn CurrentLsn() const { return reserved_.load(std::memory_order_acquire); }
 
   /// LSN up to which the log is durable on the device.
   Lsn DurableLsn() const {
@@ -70,33 +140,67 @@ class LogManager {
   /// commits and daemon flush waits share one wakeup discipline.
   void WaitDurable(Lsn lsn);
 
-  /// Forces all staged records to the device before returning.
+  /// Forces everything reserved before the call to the device (spinning out
+  /// any appender still publishing its copy) before returning.
   Status Flush();
 
   const StorageDevice* device() const { return device_.get(); }
 
   /// Number of flush batches issued (group-commit effectiveness metric).
   uint64_t flush_batches() const {
-    return flush_batches_.load(std::memory_order_relaxed);
+    return flushes_.load(std::memory_order_relaxed);
   }
 
+  Stats stats() const;
+
  private:
+  struct alignas(64) BlockCount {
+    std::atomic<uint64_t> released{0};
+  };
+
+  Lsn BlockFloor(Lsn lsn) const { return lsn & ~(block_bytes_ - 1); }
+  size_t BlockIndex(Lsn lsn) const {
+    return (lsn / block_bytes_) & (n_blocks_ - 1);
+  }
+  bool HasStaged() const {
+    return reserved_.load(std::memory_order_acquire) >
+           flushed_.load(std::memory_order_acquire);
+  }
+  uint64_t StagedBytes() const {
+    return reserved_.load(std::memory_order_acquire) -
+           flushed_.load(std::memory_order_acquire);
+  }
+
+  /// Scans the device's frames; truncates a torn tail; returns the LSN to
+  /// resume at.
+  Lsn RecoverTail();
+  void CopyIntoRing(Lsn lsn, const uint8_t* src, size_t n);
+  void WaitForRingSpace(Lsn end);
+  /// One flush round: ship the completed prefix, sync, advance durability.
+  /// Takes flush_mu_; safe from any thread.
+  Status FlushPass();
   void FlusherLoop();
-  // Flushes the staging buffer. Caller must NOT hold buf_mu_.
-  Status FlushLocked();
 
   std::unique_ptr<StorageDevice> device_;
   Options options_;
 
-  std::mutex buf_mu_;
-  std::condition_variable work_cv_;  // signaled when staging becomes non-empty
-  std::vector<uint8_t> staging_;
-  Lsn staging_start_lsn_ = 0;
+  // Reservation ring.
+  std::unique_ptr<uint8_t[]> ring_;
+  uint64_t capacity_ = 0;     // power of two
+  uint64_t block_bytes_ = 0;  // power of two dividing capacity_
+  uint64_t n_blocks_ = 0;
+  uint64_t max_append_ = 0;  // capacity_ - block_bytes_ (incl. frame header)
+  std::unique_ptr<BlockCount[]> released_;
 
-  std::atomic<Lsn> next_lsn_{0};
+  /// Next LSN to hand out; bytes in [flushed_, reserved_) are staged.
+  std::atomic<Lsn> reserved_{0};
+  /// Prefix shipped to the device; ring space below it is reusable.
+  std::atomic<Lsn> flushed_{0};
   std::atomic<Lsn> durable_lsn_{0};
-  Lsn appended_lsn_ = 0;  // on device, possibly unsynced (flush_mu_)
-  std::atomic<uint64_t> flush_batches_{0};
+
+  // Ring-space eventcount: bumped once per flush that advanced flushed_.
+  std::atomic<uint32_t> space_seq_{0};
+  std::atomic<uint32_t> space_waiters_{0};
 
   // Durable-advance eventcount: bumped once per flush batch that moved
   // durable_lsn_; WaitDurable parks on it (see ParkingLot protocol).
@@ -104,12 +208,33 @@ class LogManager {
   std::atomic<uint32_t> durable_waiters_{0};
 
   std::mutex flush_mu_;  // serializes flush batches
+
+  // Flusher sleep/wake. Appenders take flusher_mu_ only on the
+  // empty->non-empty and watermark-crossing transitions (once per batch).
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
   std::atomic<bool> stop_{false};
   std::thread flusher_;
+
+  // Stats.
+  ShardedCounter appends_;
+  ShardedCounter append_bytes_;
+  ShardedCounter space_waits_;
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> flushed_bytes_{0};
+  std::atomic<uint64_t> max_batch_bytes_{0};
+  std::atomic<uint64_t> window_us_{0};
+  std::atomic<uint64_t> window_grows_{0};
+  std::atomic<uint64_t> window_shrinks_{0};
+  std::atomic<uint64_t> flush_gap_ns_total_{0};
+  std::atomic<uint64_t> staged_at_flush_total_{0};
+  uint64_t last_flush_ns_ = 0;  // flush_mu_
 };
 
 /// Sequentially iterates the framed records of a log device. Used by
-/// recovery (paper Section 4.6).
+/// recovery (paper Section 4.6). A zero-length header (the unwritten tail
+/// of a preallocated segment), a frame running past the device, or a check
+/// mismatch all read as end-of-log.
 class LogReader {
  public:
   explicit LogReader(const StorageDevice* device) : device_(device) {}

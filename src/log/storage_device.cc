@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 
@@ -60,6 +61,12 @@ Status MemDevice::Sync() {
   return Status::OK();
 }
 
+Status MemDevice::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (size < data_.size()) data_.resize(size);
+  return Status::OK();
+}
+
 uint64_t MemDevice::Size() const {
   std::lock_guard<std::mutex> guard(mu_);
   return data_.size();
@@ -98,15 +105,36 @@ FileDevice::FileDevice(int fd, std::string path, uint64_t size,
 
 FileDevice::~FileDevice() { ::close(fd_); }
 
+Status FileDevice::PwriteFully(uint64_t offset, std::span<const uint8_t> data) {
+  // pwrite may write fewer bytes than asked (signal, rlimit/quota boundary,
+  // >2 GiB chunk): a short count is progress, not an error — advance and
+  // retry until the span is on the file or a real error surfaces.
+  const uint8_t* p = data.data();
+  size_t remaining = data.size();
+  off_t at = static_cast<off_t>(offset);
+  while (remaining > 0) {
+    ssize_t n = pwrite_hook_ != nullptr
+                    ? pwrite_hook_(fd_, p, remaining, at)
+                    : ::pwrite(fd_, p, remaining, at);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite failed: " + path_);
+    }
+    if (n == 0) {
+      return Status::IOError("pwrite wrote nothing: " + path_);
+    }
+    p += n;
+    at += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
 Status FileDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
   {
     std::lock_guard<std::mutex> guard(mu_);
     *offset = size_;
-    ssize_t n = ::pwrite(fd_, data.data(), data.size(),
-                         static_cast<off_t>(size_));
-    if (n < 0 || static_cast<size_t>(n) != data.size()) {
-      return Status::IOError("pwrite failed: " + path_);
-    }
+    SKEENA_RETURN_NOT_OK(PwriteFully(size_, data));
     size_ += data.size();
     bytes_written_ += data.size();
   }
@@ -117,11 +145,7 @@ Status FileDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
 Status FileDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
   {
     std::lock_guard<std::mutex> guard(mu_);
-    ssize_t n = ::pwrite(fd_, data.data(), data.size(),
-                         static_cast<off_t>(offset));
-    if (n < 0 || static_cast<size_t>(n) != data.size()) {
-      return Status::IOError("pwrite failed: " + path_);
-    }
+    SKEENA_RETURN_NOT_OK(PwriteFully(offset, data));
     if (offset + data.size() > size_) size_ = offset + data.size();
     bytes_written_ += data.size();
   }
@@ -148,6 +172,16 @@ Status FileDevice::Sync() {
     return Status::IOError("fsync failed: " + path_);
   }
   SpinWaitNs(latency_.sync_ns);
+  return Status::OK();
+}
+
+Status FileDevice::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (size >= size_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("ftruncate failed: " + path_);
+  }
+  size_ = size;
   return Status::OK();
 }
 

@@ -1,6 +1,8 @@
 #ifndef SKEENA_LOG_STORAGE_DEVICE_H_
 #define SKEENA_LOG_STORAGE_DEVICE_H_
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -55,6 +57,15 @@ class StorageDevice {
   /// Makes all prior writes durable.
   virtual Status Sync() = 0;
 
+  /// Shrinks the device to `size` bytes, discarding everything beyond.
+  /// Used by log tail recovery to cut off a torn frame. Optional: devices
+  /// that cannot truncate return kNotSupported, which callers must treat as
+  /// "the stale bytes remain but will be overwritten in place".
+  virtual Status Truncate(uint64_t size) {
+    (void)size;
+    return Status::NotSupported("truncate not supported");
+  }
+
   virtual uint64_t Size() const = 0;
 
   /// Total bytes read / written (for experiment reporting).
@@ -73,6 +84,7 @@ class MemDevice : public StorageDevice {
   Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override;
   Status ReadAt(uint64_t offset, std::span<uint8_t> out) const override;
   Status Sync() override;
+  Status Truncate(uint64_t size) override;
   uint64_t Size() const override;
   uint64_t bytes_read() const override;
   uint64_t bytes_written() const override;
@@ -99,20 +111,34 @@ class FileDevice : public StorageDevice {
   Status WriteAt(uint64_t offset, std::span<const uint8_t> data) override;
   Status ReadAt(uint64_t offset, std::span<uint8_t> out) const override;
   Status Sync() override;
+  Status Truncate(uint64_t size) override;
   uint64_t Size() const override;
   uint64_t bytes_read() const override;
   uint64_t bytes_written() const override;
 
   const std::string& path() const { return path_; }
 
+  /// Test hook: replaces the pwrite syscall for this device. The hook has
+  /// the raw pwrite contract — it may write fewer bytes than asked (short
+  /// write) or fail — letting tests exercise the full-write retry loop.
+  using PwriteFn = ssize_t (*)(int fd, const void* buf, size_t count,
+                               off_t offset);
+  void SetPwriteHookForTest(PwriteFn fn) { pwrite_hook_ = fn; }
+
  private:
   FileDevice(int fd, std::string path, uint64_t size, DeviceLatency latency);
+
+  /// Issues pwrite (or the test hook) until every byte of `data` is
+  /// written: POSIX allows short writes (quota boundaries, signals, >2GiB
+  /// chunks), and treating one as failure would wrongly fail the flush.
+  Status PwriteFully(uint64_t offset, std::span<const uint8_t> data);
 
   mutable std::mutex mu_;
   int fd_;
   std::string path_;
   uint64_t size_;
   DeviceLatency latency_;
+  PwriteFn pwrite_hook_ = nullptr;
   mutable uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;
 };

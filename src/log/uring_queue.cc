@@ -1,0 +1,238 @@
+#include "log/uring_queue.h"
+
+#if defined(SKEENA_HAVE_IO_URING)
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace skeena {
+namespace {
+
+int SysUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+/// The ring head/tail words live in kernel-shared mmaps; all accesses go
+/// through atomics (the liburing load-acquire/store-release discipline).
+std::atomic<unsigned>* RingWord(void* base, uint32_t off) {
+  return reinterpret_cast<std::atomic<unsigned>*>(
+      static_cast<char*>(base) + off);
+}
+
+}  // namespace
+
+struct UringQueue::Impl {
+  int ring_fd = -1;
+  unsigned entries = 0;
+
+  void* sq_ptr = nullptr;
+  size_t sq_len = 0;
+  void* cq_ptr = nullptr;  // == sq_ptr under IORING_FEAT_SINGLE_MMAP
+  size_t cq_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  size_t sqes_len = 0;
+
+  std::atomic<unsigned>* sq_head = nullptr;
+  std::atomic<unsigned>* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  std::atomic<unsigned>* cq_head = nullptr;
+  std::atomic<unsigned>* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  unsigned pending = 0;  // pushed but not yet submitted
+
+  ~Impl() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_len);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_len);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  io_uring_sqe* NextSqe() {
+    const unsigned tail = sq_tail->load(std::memory_order_relaxed);
+    const unsigned head = sq_head->load(std::memory_order_acquire);
+    if (tail - head >= entries) return nullptr;
+    const unsigned idx = tail & sq_mask;
+    io_uring_sqe* sqe = &sqes[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array[idx] = idx;
+    sq_tail->store(tail + 1, std::memory_order_release);
+    ++pending;
+    return sqe;
+  }
+};
+
+bool UringQueue::Supported() {
+  static const bool supported = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    int fd = SysUringSetup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+Result<std::unique_ptr<UringQueue>> UringQueue::Create(unsigned entries) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  auto impl = std::make_unique<Impl>();
+  impl->ring_fd = SysUringSetup(entries, &params);
+  if (impl->ring_fd < 0) {
+    return Status::NotSupported("io_uring_setup failed");
+  }
+  impl->entries = params.sq_entries;
+
+  impl->sq_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  impl->cq_len =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap =
+      (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    impl->sq_len = impl->cq_len = std::max(impl->sq_len, impl->cq_len);
+  }
+  impl->sq_ptr =
+      ::mmap(nullptr, impl->sq_len, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, impl->ring_fd, IORING_OFF_SQ_RING);
+  if (impl->sq_ptr == MAP_FAILED) {
+    impl->sq_ptr = nullptr;
+    return Status::IOError("io_uring SQ ring mmap failed");
+  }
+  if (single_mmap) {
+    impl->cq_ptr = impl->sq_ptr;
+  } else {
+    impl->cq_ptr =
+        ::mmap(nullptr, impl->cq_len, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, impl->ring_fd, IORING_OFF_CQ_RING);
+    if (impl->cq_ptr == MAP_FAILED) {
+      impl->cq_ptr = nullptr;
+      return Status::IOError("io_uring CQ ring mmap failed");
+    }
+  }
+  impl->sqes_len = params.sq_entries * sizeof(io_uring_sqe);
+  void* sqes =
+      ::mmap(nullptr, impl->sqes_len, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, impl->ring_fd, IORING_OFF_SQES);
+  if (sqes == MAP_FAILED) {
+    return Status::IOError("io_uring SQE array mmap failed");
+  }
+  impl->sqes = static_cast<io_uring_sqe*>(sqes);
+
+  impl->sq_head = RingWord(impl->sq_ptr, params.sq_off.head);
+  impl->sq_tail = RingWord(impl->sq_ptr, params.sq_off.tail);
+  impl->sq_mask = *reinterpret_cast<unsigned*>(
+      static_cast<char*>(impl->sq_ptr) + params.sq_off.ring_mask);
+  impl->sq_array = reinterpret_cast<unsigned*>(
+      static_cast<char*>(impl->sq_ptr) + params.sq_off.array);
+  impl->cq_head = RingWord(impl->cq_ptr, params.cq_off.head);
+  impl->cq_tail = RingWord(impl->cq_ptr, params.cq_off.tail);
+  impl->cq_mask = *reinterpret_cast<unsigned*>(
+      static_cast<char*>(impl->cq_ptr) + params.cq_off.ring_mask);
+  impl->cqes = reinterpret_cast<io_uring_cqe*>(
+      static_cast<char*>(impl->cq_ptr) + params.cq_off.cqes);
+
+  return std::unique_ptr<UringQueue>(new UringQueue(impl.release()));
+}
+
+UringQueue::~UringQueue() { delete impl_; }
+
+bool UringQueue::PushWrite(int fd, const void* buf, unsigned len,
+                           uint64_t offset) {
+  io_uring_sqe* sqe = impl_->NextSqe();
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_WRITE;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(buf);
+  sqe->len = len;
+  sqe->off = offset;
+  // Completion check: a write must complete with exactly `len` bytes.
+  sqe->user_data = len;
+  return true;
+}
+
+bool UringQueue::PushFsync(int fd) {
+  io_uring_sqe* sqe = impl_->NextSqe();
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_FSYNC;
+  sqe->fd = fd;
+  sqe->fsync_flags = IORING_FSYNC_DATASYNC;
+  sqe->user_data = 0;  // fsync completes with res == 0
+  return true;
+}
+
+Status UringQueue::SubmitAndWait() {
+  unsigned to_submit = impl_->pending;
+  impl_->pending = 0;
+  unsigned outstanding = to_submit;
+  Status batch_status = Status::OK();
+  while (outstanding > 0) {
+    int ret = SysUringEnter(impl_->ring_fd, to_submit, outstanding,
+                            IORING_ENTER_GETEVENTS);
+    if (ret < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("io_uring_enter failed");
+    }
+    to_submit = 0;
+    unsigned head = impl_->cq_head->load(std::memory_order_relaxed);
+    const unsigned tail = impl_->cq_tail->load(std::memory_order_acquire);
+    while (head != tail && outstanding > 0) {
+      const io_uring_cqe* cqe = &impl_->cqes[head & impl_->cq_mask];
+      if (cqe->res < 0 ||
+          static_cast<uint64_t>(cqe->res) != cqe->user_data) {
+        // Failed or short completion: fail the batch, caller falls back to
+        // its synchronous path (offset writes are idempotent to redo).
+        batch_status = Status::IOError("io_uring op failed");
+      }
+      ++head;
+      --outstanding;
+    }
+    impl_->cq_head->store(head, std::memory_order_release);
+  }
+  return batch_status;
+}
+
+}  // namespace skeena
+
+#else  // !SKEENA_HAVE_IO_URING
+
+namespace skeena {
+
+struct UringQueue::Impl {};
+
+bool UringQueue::Supported() { return false; }
+
+Result<std::unique_ptr<UringQueue>> UringQueue::Create(unsigned) {
+  return Status::NotSupported("built without io_uring support");
+}
+
+UringQueue::~UringQueue() { delete impl_; }
+
+bool UringQueue::PushWrite(int, const void*, unsigned, uint64_t) {
+  return false;
+}
+
+bool UringQueue::PushFsync(int) { return false; }
+
+Status UringQueue::SubmitAndWait() {
+  return Status::NotSupported("built without io_uring support");
+}
+
+}  // namespace skeena
+
+#endif  // SKEENA_HAVE_IO_URING

@@ -1,0 +1,58 @@
+#ifndef SKEENA_LOG_URING_QUEUE_H_
+#define SKEENA_LOG_URING_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace skeena {
+
+/// Minimal io_uring submission/completion queue built on the raw syscalls
+/// (io_uring_setup / io_uring_enter + ring mmaps) — no liburing dependency.
+/// Only what the log writer needs: batch a handful of WRITE/FSYNC SQEs,
+/// submit them with one io_uring_enter, wait for all completions.
+///
+/// Compiled to a stub (Create returns kNotSupported) unless the build
+/// defines SKEENA_HAVE_IO_URING; even then Create probes the kernel at
+/// runtime, so callers always need the pwrite fallback path.
+///
+/// Not thread-safe: the owning device serializes all use under its write
+/// mutex, which matches the single-flusher log write pattern.
+class UringQueue {
+ public:
+  /// True when the binary was built with io_uring support *and* the running
+  /// kernel accepts io_uring_setup. Cached after the first call.
+  static bool Supported();
+
+  /// Creates a queue with `entries` SQE slots (rounded up by the kernel).
+  static Result<std::unique_ptr<UringQueue>> Create(unsigned entries);
+
+  ~UringQueue();
+
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Queues one pwrite-shaped SQE. Returns false when the SQ is full (the
+  /// caller should SubmitAndWait first). `buf` must stay alive until the
+  /// matching SubmitAndWait returns.
+  bool PushWrite(int fd, const void* buf, unsigned len, uint64_t offset);
+
+  /// Queues an fdatasync-shaped SQE.
+  bool PushFsync(int fd);
+
+  /// Submits everything pushed since the last call and blocks until all of
+  /// it completes. Any failed or short completion fails the whole batch —
+  /// the caller retries through its synchronous fallback (log writes are
+  /// offset-addressed, so re-writing is idempotent).
+  Status SubmitAndWait();
+
+ private:
+  struct Impl;
+  explicit UringQueue(Impl* impl) : impl_(impl) {}
+  Impl* impl_;
+};
+
+}  // namespace skeena
+
+#endif  // SKEENA_LOG_URING_QUEUE_H_

@@ -178,6 +178,18 @@ TEST_F(PipelineTest, StressManyWaitersAgainstDurableAdvances) {
     EXPECT_EQ(pipeline.completed(),
               static_cast<uint64_t>(kThreads * kTxnsEach));
 
+    {
+      // MPSC handoff accounting: with every waiter returned, the queues are
+      // fully drained, so the wait-free pushes plus the inline completions
+      // must account for every completion — nothing lost, nothing doubled.
+      CommitPipeline::Stats s = pipeline.stats();
+      EXPECT_EQ(s.completed, s.enqueued + s.completed_inline)
+          << "wait-free queue handoff lost or duplicated an entry";
+      if (mode == CommitPipeline::Mode::kSync) {
+        EXPECT_EQ(s.enqueued, 0u) << "sync mode must never touch the queues";
+      }
+    }
+
 #if defined(__linux__)
     if (mode == CommitPipeline::Mode::kPipelined) {
       // The point of batching: completing a durable-LSN advance in one

@@ -7,6 +7,8 @@
 #include <filesystem>
 
 #include "core/skeena.h"
+#include "log/log_manager.h"
+#include "log/segmented_device.h"
 
 namespace skeena {
 namespace {
@@ -222,17 +224,29 @@ TEST_F(RecoveryTest, TornLogTailIgnored) {
     ASSERT_TRUE(txn->Put(mem_t, MakeKey(1), "good").ok());
     ASSERT_TRUE(txn->Commit().ok());
   }
-  // Corrupt the mem log with a truncated frame.
+  // Corrupt the mem log (a segmented-device directory) with a torn frame
+  // right after the valid tail: a plausible header whose payload never
+  // fully hit the disk.
   {
-    auto dev = FileDevice::Open(dir_ + "/mem.log");
+    auto dev = SegmentedLogDevice::Open(dir_ + "/mem.log");
     ASSERT_TRUE(dev.ok());
+    LogReader scan(dev->get());
+    std::string rec;
+    while (scan.Next(&rec)) {
+    }
+    const uint64_t end = scan.offset();
+    std::string torn;
     uint32_t bogus_len = 1 << 20;
-    uint64_t off;
-    ASSERT_TRUE((*dev)
-                    ->Append(std::span<const uint8_t>(
-                                 reinterpret_cast<uint8_t*>(&bogus_len), 4),
-                             &off)
-                    .ok());
+    uint32_t bogus_check = 0xfeedface;
+    torn.append(reinterpret_cast<const char*>(&bogus_len), 4);
+    torn.append(reinterpret_cast<const char*>(&bogus_check), 4);
+    torn += "partial-payload";
+    ASSERT_TRUE(
+        (*dev)
+            ->WriteAt(end, {reinterpret_cast<const uint8_t*>(torn.data()),
+                            torn.size()})
+            .ok());
+    ASSERT_TRUE((*dev)->Sync().ok());
   }
   {
     Database db(FileOptions());
@@ -241,6 +255,56 @@ TEST_F(RecoveryTest, TornLogTailIgnored) {
     std::string v;
     ASSERT_TRUE(reader->Get(*db.GetTable("m"), MakeKey(1), &v).ok());
     EXPECT_EQ(v, "good");
+  }
+}
+
+TEST_F(RecoveryTest, LegacyFileBackendStillRecovers) {
+  auto legacy = [this] {
+    DatabaseOptions opts = FileOptions();
+    opts.log_backend = DatabaseOptions::LogBackend::kFile;
+    return opts;
+  };
+  {
+    Database db(legacy());
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto stor_t = *db.CreateTable("s", EngineKind::kStor);
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Put(mem_t, MakeKey(1), "mem-file").ok());
+    ASSERT_TRUE(txn->Put(stor_t, MakeKey(1), "stor-file").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    Database db(legacy());
+    ASSERT_TRUE(db.Recover().ok());
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(*db.GetTable("m"), MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "mem-file");
+    ASSERT_TRUE(reader->Get(*db.GetTable("s"), MakeKey(1), &v).ok());
+    EXPECT_EQ(v, "stor-file");
+  }
+}
+
+TEST_F(RecoveryTest, FileBackedDataDirReopensUnderSegmentedDefault) {
+  // A data dir created under the legacy kFile layout has plain files where
+  // the segmented backend wants directories. Reopening with the segmented
+  // default must fall back to the file layout instead of losing the log.
+  {
+    DatabaseOptions opts = FileOptions();
+    opts.log_backend = DatabaseOptions::LogBackend::kFile;
+    Database db(opts);
+    auto mem_t = *db.CreateTable("m", EngineKind::kMem);
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Put(mem_t, MakeKey(7), "from-file-era").ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  {
+    Database db(FileOptions());  // default backend: segmented
+    ASSERT_TRUE(db.Recover().ok());
+    auto reader = db.Begin();
+    std::string v;
+    ASSERT_TRUE(reader->Get(*db.GetTable("m"), MakeKey(7), &v).ok());
+    EXPECT_EQ(v, "from-file-era");
   }
 }
 
