@@ -133,6 +133,34 @@ if doc["bench"] == "recording_overhead":
     assert counts and all(p["value"] > 0 for p in counts), \
         f"recording cells recorded no transactions: {counts}"
     print(f"  OK recording-overhead matrix: {len(tps)} TPS cells")
+if doc["bench"] == "server_tail_latency":
+    # The open-loop network bench: every (connections x offered-rate) cell
+    # must carry p50/p99/p999 commit-latency and achieved-throughput points,
+    # the percentiles must be ordered (p50 <= p99 <= p999), and the server
+    # must have actually committed transactions over the wire.
+    by_metric = {}
+    for p in doc["points"]:
+        by_metric.setdefault(p["matrix"], []).append(p)
+    metrics = sorted(by_metric)
+    p50 = [m for m in metrics if "p50" in m]
+    p99 = [m for m in metrics if "p99 " in m]
+    p999 = [m for m in metrics if "p999" in m]
+    tput = [m for m in metrics if "throughput" in m]
+    assert p50 and p99 and p999 and tput, f"missing matrices: {metrics}"
+    cells = {(p["row"], p["col"]) for p in by_metric[p50[0]]}
+    assert cells, "no latency cells recorded"
+    for m in (p99[0], p999[0], tput[0]):
+        assert {(p["row"], p["col"]) for p in by_metric[m]} == cells, \
+            f"matrix {m} cell set differs from p50's"
+    def val(metric, cell):
+        return next(p["value"] for p in by_metric[metric]
+                    if (p["row"], p["col"]) == cell)
+    for cell in cells:
+        lo, hi, tail = val(p50[0], cell), val(p99[0], cell), val(p999[0], cell)
+        assert 0 < lo <= hi <= tail < 60_000, \
+            f"disordered percentiles at {cell}: {lo}/{hi}/{tail}"
+        assert val(tput[0], cell) > 0, f"no commits at {cell}"
+    print(f"  OK server-tail matrix: {len(cells)} cells x 4 metrics")
 if doc["bench"] == "ablation_csr":
     # The lock-free read-path matrix feeds the reclamation perf trajectory
     # (docs/RECLAMATION.md); its hit-ratio rows must all be present with

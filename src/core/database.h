@@ -134,6 +134,14 @@ class Database {
     return next_gtid_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Number of live transactions that are still active — begun, not yet
+  /// committed or aborted. Connection owners (the network server) assert
+  /// this returns to zero after a disconnect or shutdown: an orphaned
+  /// transaction must be aborted, never leaked.
+  int64_t active_transactions() const {
+    return active_txns_.load(std::memory_order_relaxed);
+  }
+
   struct Stats {
     SnapshotRegistry::Stats csr;
     memdb::MemEngine::Stats mem;
@@ -143,6 +151,8 @@ class Database {
   Stats stats();
 
  private:
+  friend class Transaction;  // maintains active_txns_ across its lifecycle
+
   void PersistCatalogEntry(const TableHandle& h, size_t max_value_size);
   void LoadCatalog();
 
@@ -168,6 +178,7 @@ class Database {
   std::unique_ptr<HistoryRecorder> recorder_;
 
   std::atomic<GlobalTxnId> next_gtid_{1};
+  std::atomic<int64_t> active_txns_{0};
 
   mutable std::mutex catalog_mu_;
   std::unordered_map<std::string, TableHandle> catalog_;

@@ -131,7 +131,7 @@ class Checker {
     CheckLostUpdates();
     CheckCrossPairs();
     CheckCsrContainment();
-    CheckSessionOrder();
+    if (opts_.check_session_order) CheckSessionOrder();
     return std::move(report_);
   }
 

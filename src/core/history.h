@@ -188,6 +188,11 @@ struct SiCheckOptions {
   std::vector<CsrMapping> csr_mappings;
   Timestamp csr_floor = 0;
   bool have_csr_dump = false;
+  /// Session-order assumes one recording thread == one client session.
+  /// Histories produced by a worker pool (e.g. the network server, where
+  /// any worker runs any connection's transactions) interleave unrelated
+  /// clients in one thread-derived session; disable the axiom there.
+  bool check_session_order = true;
 };
 
 struct SiReport {

@@ -7,6 +7,7 @@ Transaction::Transaction(Database* db, IsolationLevel iso)
       iso_(iso),
       gtid_(db->NextGtid()),
       skeena_on_(db->skeena_enabled()) {
+  db_->active_txns_.fetch_add(1, std::memory_order_relaxed);
   if (HistoryRecorder* rec = db_->recorder()) {
     hist_ = rec->StartTxn(gtid_, iso_, skeena_on_);
   }
@@ -235,6 +236,7 @@ Status Transaction::Commit() {
 
   if (!used_[0] && !used_[1]) {
     state_ = State::kCommitted;
+    db_->active_txns_.fetch_sub(1, std::memory_order_relaxed);
     ReleaseAnchorSlot();
     if (hist_) {
       hist_->outcome = TxnHistory::Outcome::kCommitted;
@@ -306,6 +308,7 @@ Status Transaction::Commit() {
   }
 
   state_ = State::kCommitted;
+  db_->active_txns_.fetch_sub(1, std::memory_order_relaxed);
   ReleaseAnchorSlot();
 
   // ---- Pipelined commit: detach and wait for both engines' durable LSNs
@@ -337,6 +340,7 @@ void Transaction::Abort() {
   }
   ReleaseAnchorSlot();
   state_ = State::kAborted;
+  db_->active_txns_.fetch_sub(1, std::memory_order_relaxed);
   if (hist_) {
     hist_->outcome = TxnHistory::Outcome::kAborted;
     db_->recorder()->Record(std::move(hist_));

@@ -1,0 +1,94 @@
+#ifndef SKEENA_SERVER_SERVER_H_
+#define SKEENA_SERVER_SERVER_H_
+
+// The Skeena network front-end: a TCP listener speaking the SKNA wire
+// protocol (docs/PROTOCOL.md), an epoll event loop, and a worker pool that
+// dispatches decoded request frames into Database sessions.
+//
+// Ownership model (see DESIGN.md "Server front-end"):
+//
+//  * ONE event-loop thread owns all sockets: accept, non-blocking reads,
+//    frame extraction, EPOLLOUT flushing, and every close(). Connections
+//    live in a loop-owned map and die only on the loop thread.
+//  * N worker threads own the Database work: a connection whose input
+//    queue turns non-empty is scheduled onto exactly one worker at a time
+//    (the `scheduled` flag), which drains its frames in order, executes
+//    them against the connection's session, and appends responses to the
+//    connection's output buffer. Per-connection frame order is therefore
+//    preserved while distinct connections run fully in parallel — the
+//    concurrency profile the lock-free read path and the batched commit
+//    wakeups were built for.
+//  * A connection's open Transaction is part of its session state. The
+//    transaction migrates between workers across requests (the anchor
+//    registry's slot handoff supports this); on any disconnect — EOF,
+//    error, protocol violation, slow-reader overflow, server shutdown —
+//    the orphaned transaction is aborted before the socket is closed.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace skeena {
+class Database;
+}
+
+namespace skeena::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = pick an ephemeral port; read it back with Server::port().
+  uint16_t port = 0;
+  /// Database worker threads (>=1). The event loop is one extra thread.
+  int workers = 4;
+  /// Per-connection response backlog cap: a pipelined client that stops
+  /// reading is disconnected (and its transaction aborted) once its
+  /// unflushed responses exceed this.
+  size_t max_outbuf_bytes = 4u << 20;
+};
+
+class Server {
+ public:
+  Server(Database* db, ServerOptions options = ServerOptions());
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop + workers.
+  Status Start();
+
+  /// Drains workers, aborts every connection's orphaned transaction,
+  /// closes all sockets, joins all threads. Idempotent.
+  void Stop();
+
+  /// Bound port (valid after Start(); resolves port=0 to the real one).
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t protocol_errors = 0;
+    /// Transactions aborted because their connection went away while they
+    /// were open (the "no orphaned transactions" invariant: every one of
+    /// these was rolled back, never leaked).
+    uint64_t txns_aborted_on_disconnect = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace skeena::server
+
+#endif  // SKEENA_SERVER_SERVER_H_
