@@ -161,6 +161,33 @@ if doc["bench"] == "server_tail_latency":
             f"disordered percentiles at {cell}: {lo}/{hi}/{tail}"
         assert val(tput[0], cell) > 0, f"no commits at {cell}"
     print(f"  OK server-tail matrix: {len(cells)} cells x 4 metrics")
+if doc["bench"] == "repl_lag":
+    # The replication-lag bench: every (write-rate x reader-count) cell
+    # must carry lag p50/p99, replica read throughput and achieved primary
+    # write rate, with ordered percentiles and real traffic on both sides.
+    by_metric = {}
+    for p in doc["points"]:
+        by_metric.setdefault(p["matrix"], []).append(p)
+    metrics = sorted(by_metric)
+    p50 = [m for m in metrics if "p50" in m]
+    p99 = [m for m in metrics if "p99" in m]
+    rtp = [m for m in metrics if "read throughput" in m]
+    wtp = [m for m in metrics if "write rate" in m]
+    assert p50 and p99 and rtp and wtp, f"missing matrices: {metrics}"
+    cells = {(p["row"], p["col"]) for p in by_metric[p50[0]]}
+    assert cells, "no lag cells recorded"
+    for m in (p99[0], rtp[0], wtp[0]):
+        assert {(p["row"], p["col"]) for p in by_metric[m]} == cells, \
+            f"matrix {m} cell set differs from p50's"
+    def rval(metric, cell):
+        return next(p["value"] for p in by_metric[metric]
+                    if (p["row"], p["col"]) == cell)
+    for cell in cells:
+        lo, hi = rval(p50[0], cell), rval(p99[0], cell)
+        assert 0 < lo <= hi < 60_000, f"disordered lag percentiles {cell}"
+        assert rval(rtp[0], cell) > 0, f"no replica reads at {cell}"
+        assert rval(wtp[0], cell) > 0, f"no primary commits at {cell}"
+    print(f"  OK repl-lag matrix: {len(cells)} cells x 4 metrics")
 if doc["bench"] == "ablation_csr":
     # The lock-free read-path matrix feeds the reclamation perf trajectory
     # (docs/RECLAMATION.md); its hit-ratio rows must all be present with

@@ -78,6 +78,7 @@ void SnapshotRegistry::AppendPartitionLocked(Timestamp key, Timestamp value) {
   // readers never observe an empty partition.
   PublishLocked(nl);
   partitions_created_.Add(1);
+  if (options_.install_observer) options_.install_observer(key, value);
 }
 
 SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
@@ -108,6 +109,7 @@ SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
     // In-place single-word widen; concurrent readers see either bound.
     if (value < vmin) e.vmin.store(value, std::memory_order_relaxed);
     if (value > vmax) e.vmax.store(value, std::memory_order_relaxed);
+    if (options_.install_observer) options_.install_observer(key, value);
     return MapResult::kOk;
   }
   if (!is_last) return MapResult::kSealed;
@@ -122,6 +124,7 @@ SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
       e.vmin.store(value, std::memory_order_relaxed);
       e.vmax.store(value, std::memory_order_relaxed);
       p->count.store(n + 1, std::memory_order_release);
+      if (options_.install_observer) options_.install_observer(key, value);
       return MapResult::kOk;
     }
     // Out-of-order insert into the open partition (rare: a committer whose
@@ -153,6 +156,7 @@ SnapshotRegistry::MapResult SnapshotRegistry::InstallLocked(Timestamp key,
     nl->parts[idx] = np;
     PublishLocked(nl);
     epoch_->Retire(p);
+    if (options_.install_observer) options_.install_observer(key, value);
     return MapResult::kOk;
   }
   // The open partition is full: a fresh key beyond its range moves to a new
@@ -372,6 +376,32 @@ void SnapshotRegistry::Recycle() {
   Timestamp min_snap = min_anchor_provider_();
   std::lock_guard<std::mutex> lock(write_mu_);
   RecycleLocked(min_snap);
+}
+
+Status SnapshotRegistry::ReplayInstall(Timestamp key, Timestamp value) {
+  TickAccess();
+  std::lock_guard<std::mutex> lock(write_mu_);
+  PartitionList* list = list_.load(std::memory_order_relaxed);
+  if (list->parts.empty()) {
+    AppendPartitionLocked(key, value);
+    mappings_.Add(1);
+    return Status::OK();
+  }
+  size_t idx = LocatePartition(*list, key);
+  if (idx == kNpos) return Status::OK();  // below the local recycling floor
+  Partition* p = list->parts[idx];
+  size_t n = p->count.load(std::memory_order_relaxed);
+  size_t lb = LowerBound(*p, n, key);
+  MapResult r = InstallLocked(key, value, idx, lb);
+  if (r == MapResult::kOk) {
+    mappings_.Add(1);
+    return Status::OK();
+  }
+  // A journal prefix replayed in order lands in the open partition exactly
+  // like it did on the primary (same capacity, same sequence); a sealed
+  // result means the replica was configured differently.
+  sealed_aborts_.Add(1);
+  return Status::SkeenaAbort("replayed mapping lands in sealed CSR partition");
 }
 
 void SnapshotRegistry::RecycleLocked(Timestamp min_snap) {

@@ -64,6 +64,14 @@ class SnapshotRegistry {
     /// access count — the aggregate cadence matches the paper's within a
     /// factor of the thread count.
     uint64_t recycle_period = 5000;
+    /// Replication hook: called once per state-changing mapping install
+    /// (new entry, interval widen, copy-on-write insert, partition seed),
+    /// in install order, while the writer mutex is held — the call order IS
+    /// the CSR install journal the log shipper streams to replicas
+    /// (docs/REPLICATION.md). Covered no-op installs are not reported: they
+    /// do not change the registry, so replaying the reported sequence
+    /// reproduces identical mapping intervals. Keep the callback cheap.
+    std::function<void(Timestamp key, Timestamp value)> install_observer;
   };
 
   struct Stats {
@@ -126,6 +134,13 @@ class SnapshotRegistry {
   /// recycle_period accesses). Dropped partitions are retired through the
   /// epoch manager, never freed under a latch a reader could race.
   void Recycle();
+
+  /// Replica-side replay of one primary install-journal entry (the stream
+  /// the install_observer produced). Installs unconditionally — no
+  /// Algorithm 2 bounds: the primary already ran them — and tolerates
+  /// entries below the local recycling floor (stale resends). Replaying a
+  /// journal prefix in order reproduces the primary's mapping intervals.
+  Status ReplayInstall(Timestamp key, Timestamp value);
 
   /// The smallest other-engine snapshot SelectSnapshot could still hand to
   /// a transaction whose anchor snapshot is >= `anchor_snap`: the

@@ -65,6 +65,11 @@ Database::Database(DatabaseOptions options)
         };
   }
 
+  // Replica hygiene: local read-only transactions must not log commit
+  // records into the replica's own WAL — their gtids are drawn from the
+  // replica's counter and would collide with replayed primary gtids.
+  if (options_.replica) options_.mem.log_read_only_commits = false;
+
   // Both engines share the database-owned epoch domain, so one grace
   // period covers CSR partition lists, memdb versions and stordb undos.
   mem_owned_ = std::make_unique<MemEngineAdapter>(
@@ -87,7 +92,6 @@ Database::Database(DatabaseOptions options)
     return anchor_registry_.MinActive(
         engines_[anchor_index_]->LatestSnapshot());
   };
-  csr_.SetMinAnchorProvider(min_anchor);
   auto min_other = [this, min_anchor] {
     // MinSelectableValue pins its own epoch for the list traversal; the
     // anchor-registry read needs no epoch protection.
@@ -95,6 +99,44 @@ Database::Database(DatabaseOptions options)
     return v;  // kMaxTimestamp = unconstrained (fallback uses live clock)
   };
   bool mem_is_anchor = anchor_index_ == static_cast<int>(EngineKind::kMem);
+  if (options_.replica) {
+    // Replica readers never select through the CSR; their snapshot pair
+    // comes from the visibility gate. The gate is the fallback for both
+    // registry scans: it only ever advances, and every reader pre-registers
+    // a sentinel before reading the pair, so neither floor can pass a pair
+    // a reader is about to pin.
+    auto replica_min_anchor = [this] {
+      return anchor_registry_.MinActive(ReplicaSnapshotPair().first);
+    };
+    auto replica_min_other = [this] {
+      return replica_other_registry_.MinActive(ReplicaSnapshotPair().second +
+                                               1);
+    };
+    csr_.SetMinAnchorProvider(replica_min_anchor);
+    if (mem_is_anchor) {
+      mem_->engine()->SetGcHorizonProvider(replica_min_anchor);
+      stor_->engine()->SetPurgeHorizonProvider(replica_min_other);
+    } else {
+      stor_->engine()->SetPurgeHorizonProvider([replica_min_anchor] {
+        return replica_min_anchor() + 1;
+      });
+      mem_->engine()->SetGcHorizonProvider([this] {
+        // replica_other_registry_ holds ser-style horizons (value + 1);
+        // memdb wants plain snapshots.
+        return replica_other_registry_.MinActive(
+                   ReplicaSnapshotPair().second + 1) -
+               1;
+      });
+    }
+    pipeline_ = std::make_unique<CommitPipeline>(options_.pipeline,
+                                                 engines_[0], engines_[1]);
+    if (options_.record_history) {
+      recorder_ = std::make_unique<HistoryRecorder>();
+    }
+    LoadCatalog();
+    return;
+  }
+  csr_.SetMinAnchorProvider(min_anchor);
   // memdb registers plain snapshots; stordb registers view horizons
   // (ser_limit + 1) — hence the +1 on the stordb bounds.
   if (mem_is_anchor) {

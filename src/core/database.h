@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/active_registry.h"
 #include "common/epoch.h"
@@ -82,6 +83,20 @@ struct DatabaseOptions {
   /// log for the black-box SI checker (core/history.h). Off by default;
   /// disabled cost is one null-pointer branch per operation.
   bool record_history = false;
+
+  /// Replica mode (docs/REPLICATION.md): the database is populated only by
+  /// the replication applier. User transactions are read-only (writes fail
+  /// NotSupported) and take their snapshot pair from the replica's
+  /// visibility gate (SetReplicaSnapshotProvider) instead of live anchor
+  /// acquisition + CSR selection — the replayed CSR is never written to by
+  /// readers, so it stays a faithful prefix of the primary's.
+  bool replica = false;
+
+  /// Test hook: called between the two engines' post-commits of a
+  /// cross-engine transaction (anchor engine first). Lets tests freeze a
+  /// commit inside the inter-engine window that the replica's visibility
+  /// gate exists to mask.
+  std::function<void(GlobalTxnId)> test_post_commit_hook;
 };
 
 /// The multi-engine database: a memory-optimized engine and a
@@ -134,6 +149,32 @@ class Database {
     return next_gtid_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --------------------------------------------------------- replica mode
+  bool replica() const { return options_.replica; }
+
+  /// Installs the visibility-gate provider (the replication applier). The
+  /// returned pair is (anchor-engine snapshot, other-engine snapshot),
+  /// component-wise monotone over successive calls. Must be set before
+  /// replica transactions run; until then readers see only genesis data.
+  void SetReplicaSnapshotProvider(
+      std::function<std::pair<Timestamp, Timestamp>()> provider) {
+    replica_snapshot_provider_ = std::move(provider);
+  }
+
+  /// Current gate pair; (1, 1) — genesis only — before a provider is set.
+  std::pair<Timestamp, Timestamp> ReplicaSnapshotPair() const {
+    if (!replica_snapshot_provider_) return {Timestamp{1}, Timestamp{1}};
+    return replica_snapshot_provider_();
+  }
+
+  /// Registry pinning the OTHER engine's purge floor under replica
+  /// readers' gate snapshots (the anchor side reuses anchor_registry_).
+  /// Registered values follow stordb's view-horizon convention: the
+  /// other-engine gate component + 1.
+  ActiveSnapshotRegistry& replica_other_registry() {
+    return replica_other_registry_;
+  }
+
   /// Number of live transactions that are still active — begun, not yet
   /// committed or aborted. Connection owners (the network server) assert
   /// this returns to zero after a disconnect or shutdown: an orphaned
@@ -174,6 +215,8 @@ class Database {
 
   SnapshotRegistry csr_;
   ActiveSnapshotRegistry anchor_registry_;
+  ActiveSnapshotRegistry replica_other_registry_;
+  std::function<std::pair<Timestamp, Timestamp>()> replica_snapshot_provider_;
   std::unique_ptr<CommitPipeline> pipeline_;
   std::unique_ptr<HistoryRecorder> recorder_;
 

@@ -18,13 +18,17 @@ size_t HistoryRecorder::ThreadShardIndex() {
 std::unique_ptr<TxnHistory> HistoryRecorder::StartTxn(GlobalTxnId gtid,
                                                       IsolationLevel iso,
                                                       bool skeena) {
-  // Sessions are recording threads: the session id doubles as the shard the
-  // finished record files under, so a thread's transactions land in one
-  // shard in program order and Fold()'s (session, seq) sort is stable.
+  // Sessions are recording threads. The id is allocated from a
+  // process-global counter, NOT per recorder: the thread_local cache
+  // outlives any one recorder, so a per-recorder counter would hand a
+  // freshly spawned thread an id that collides with an older thread's
+  // cached id from an earlier recorder (fresh-threads-per-test pattern),
+  // interleaving two program orders under one session.
+  static std::atomic<uint64_t> next_session{1};
   thread_local uint64_t session = 0;
   thread_local uint64_t seq = 0;
   if (session == 0) {
-    session = next_session_.fetch_add(1, std::memory_order_relaxed);
+    session = next_session.fetch_add(1, std::memory_order_relaxed);
   }
   auto txn = std::make_unique<TxnHistory>();
   txn->gtid = gtid;
@@ -132,6 +136,7 @@ class Checker {
     CheckCrossPairs();
     CheckCsrContainment();
     if (opts_.check_session_order) CheckSessionOrder();
+    if (opts_.replica_session_floor != 0) CheckReplicaSessions();
     return std::move(report_);
   }
 
@@ -471,6 +476,13 @@ class Checker {
     const int a = opts_.anchor_index;
     std::unordered_map<uint64_t, std::pair<Timestamp, GlobalTxnId>> last;
     for (const TxnHistory& t : history_) {  // sorted by (session, seq)
+      // Replica sessions lag the primary by design; staleness relative to
+      // primary commits is legal there (monotonicity is checked by
+      // CheckReplicaSessions instead).
+      if (opts_.replica_session_floor != 0 &&
+          t.session >= opts_.replica_session_floor) {
+        continue;
+      }
       auto it = last.find(t.session);
       if (it != last.end() && t.skeena &&
           t.anchor_snap != kInvalidTimestamp &&
@@ -486,6 +498,33 @@ class Checker {
           t.wrote[a] && t.commit[a] != 0) {
         auto& slot = last[t.session];
         if (t.commit[a] > slot.first) slot = {t.commit[a], t.gtid};
+      }
+    }
+  }
+
+  // Replica sessions (id >= replica_session_floor) read through the
+  // visibility gate. Their snapshots may trail the primary arbitrarily,
+  // but the gate is monotone per session: a later read must never observe
+  // a snapshot pair below an earlier one on either component.
+  void CheckReplicaSessions() {
+    std::unordered_map<uint64_t, std::pair<Timestamp, Timestamp>> last;
+    for (const TxnHistory& t : history_) {  // sorted by (session, seq)
+      if (t.session < opts_.replica_session_floor) continue;
+      auto [it, fresh] = last.emplace(t.session, std::make_pair(Timestamp{0},
+                                                                Timestamp{0}));
+      (void)fresh;
+      for (const auto& [sa, so] : t.snap_pairs) {
+        if (sa < it->second.first || so < it->second.second) {
+          Add(SiViolation::Kind::kGateRegression, t.gtid, 0,
+              "replica session " + std::to_string(t.session) +
+                  " snapshot pair regressed to (" + std::to_string(sa) + "," +
+                  std::to_string(so) + ") from (" +
+                  std::to_string(it->second.first) + "," +
+                  std::to_string(it->second.second) + ") at T" +
+                  std::to_string(t.gtid));
+        }
+        it->second.first = std::max(it->second.first, sa);
+        it->second.second = std::max(it->second.second, so);
       }
     }
   }
@@ -637,6 +676,7 @@ const char* SiViolationKindName(SiViolation::Kind kind) {
     case SiViolation::Kind::kPairInversion: return "pair-inversion";
     case SiViolation::Kind::kCsrMismatch: return "csr-mismatch";
     case SiViolation::Kind::kSessionOrder: return "session-order";
+    case SiViolation::Kind::kGateRegression: return "gate-regression";
     case SiViolation::Kind::kDurabilityLost: return "durability-lost";
     case SiViolation::Kind::kTornRecovery: return "torn-recovery";
     case SiViolation::Kind::kCorruptState: return "corrupt-state";

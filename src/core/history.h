@@ -141,7 +141,6 @@ class HistoryRecorder {
   static size_t ThreadShardIndex();
 
   Padded<Shard> shards_[kShards];
-  std::atomic<uint64_t> next_session_{1};
 };
 
 // ---------------------------------------------------------------- checker
@@ -162,6 +161,8 @@ struct SiViolation {
     kCsrMismatch,        // committed pair absent from the CSR's mappings
     kSessionOrder,       // later txn in a session began before an earlier
                          // commit in the anchor engine
+    kGateRegression,     // (replica audit) a replica session's snapshot
+                         // pair went backwards on either component
     kDurabilityLost,     // (recovery audit) acknowledged write vanished
     kTornRecovery,       // (recovery audit) cross-engine txn half-recovered
     kCorruptState,       // (recovery audit) final value matches no writer
@@ -193,6 +194,14 @@ struct SiCheckOptions {
   /// any worker runs any connection's transactions) interleave unrelated
   /// clients in one thread-derived session; disable the axiom there.
   bool check_session_order = true;
+  /// Replica mode: sessions with id >= replica_session_floor are read-only
+  /// sessions on a lagging replica. Their snapshots may be arbitrarily
+  /// STALE (the replica lags the primary), so the begin-after-commit
+  /// session-order axiom is skipped for them — but their reads must still
+  /// be torn-free and pair-consistent (kCrossSkew et al. apply in full),
+  /// and per session the snapshot pair must be component-wise monotone in
+  /// recording order (kGateRegression otherwise). 0 = no replica sessions.
+  uint64_t replica_session_floor = 0;
 };
 
 struct SiReport {

@@ -22,6 +22,30 @@ void Transaction::ReleaseAnchorSlot() {
     db_->anchor_registry().Release(anchor_slot_);
     anchor_slot_ = ~size_t{0};
   }
+  if (replica_other_slot_ != ~size_t{0}) {
+    db_->replica_other_registry().Release(replica_other_slot_);
+    replica_other_slot_ = ~size_t{0};
+  }
+}
+
+Status Transaction::EnsureReplicaSnapshots() {
+  if (anchor_snap_ != kInvalidTimestamp) return Status::OK();
+  // Pre-register sentinels in BOTH registries, then read the gate pair:
+  // the replica GC providers' MinActive scans wait the sentinels out, so
+  // neither engine's floor can pass the pair between the read here and the
+  // SetSnapshot stores below (same discipline as EnsureAnchorSnapshot).
+  anchor_slot_ = db_->anchor_registry().Acquire();
+  db_->anchor_registry().BeginAcquire(anchor_slot_);
+  replica_other_slot_ = db_->replica_other_registry().Acquire();
+  db_->replica_other_registry().BeginAcquire(replica_other_slot_);
+  auto pair = db_->ReplicaSnapshotPair();
+  anchor_snap_ = pair.first;
+  replica_other_snap_ = pair.second;
+  db_->anchor_registry().SetSnapshot(anchor_slot_, anchor_snap_);
+  // Ser-horizon convention (see Database::replica_other_registry()).
+  db_->replica_other_registry().SetSnapshot(replica_other_slot_,
+                                            replica_other_snap_ + 1);
+  return Status::OK();
 }
 
 Status Transaction::EnsureAnchorSnapshot() {
@@ -42,6 +66,34 @@ Status Transaction::PrepareAccess(int e) {
     return Status::InvalidArgument("transaction is not active");
   }
   int anchor = db_->anchor_index();
+
+  if (db_->replica()) {
+    // Replica reads: the snapshot pair is the visibility gate — already
+    // proven cross-engine consistent against the replayed CSR — so there
+    // is no anchor acquisition and no CSR selection here (a read install
+    // would corrupt the replayed registry). The pair stays pinned for the
+    // transaction's lifetime, including under read committed: the gate is
+    // the only consistent pair the replica knows.
+    if (subs_[e]) return Status::OK();
+    SKEENA_RETURN_NOT_OK(EnsureReplicaSnapshots());
+    Timestamp selected = e == anchor ? anchor_snap_ : replica_other_snap_;
+    subs_[e] = db_->engine(e)->Begin(iso_, selected);
+    if (subs_[e] == nullptr) {
+      Abort();
+      return Status::SkeenaAbort("gate snapshot predates engine GC floor");
+    }
+    used_[e] = true;
+    if (hist_) {
+      hist_->used[e] = true;
+      hist_->begin[e] = selected;
+      hist_snap_[e] = selected;
+      hist_->anchor_snap = anchor_snap_;
+      if (e != anchor) {
+        hist_->snap_pairs.emplace_back(anchor_snap_, selected);
+      }
+    }
+    return Status::OK();
+  }
 
   if (!skeena_on_) {
     // Uncoordinated baseline: native latest snapshots in each engine.
@@ -174,6 +226,7 @@ Status Transaction::Get(const TableHandle& table, const Key& key,
 
 Status Transaction::Put(const TableHandle& table, const Key& key,
                         std::string_view value) {
+  if (db_->replica()) return Status::NotSupported("replica is read-only");
   int e = table.engine_index;
   SKEENA_RETURN_NOT_OK(PrepareAccess(e));
   Status s = db_->engine(e)->Put(subs_[e].get(), table.local_id, key, value);
@@ -184,6 +237,7 @@ Status Transaction::Put(const TableHandle& table, const Key& key,
 }
 
 Status Transaction::Delete(const TableHandle& table, const Key& key) {
+  if (db_->replica()) return Status::NotSupported("replica is read-only");
   int e = table.engine_index;
   SKEENA_RETURN_NOT_OK(PrepareAccess(e));
   Status s = db_->engine(e)->Delete(subs_[e].get(), table.local_id, key);
@@ -271,7 +325,9 @@ Status Transaction::Commit() {
 
   // ---- Step 2: Skeena commit check. An "all-yes" pre-commit is not
   // sufficient — unlike 2PC, the transaction may still abort here.
-  if (skeena_on_) {
+  // Replica readers skip it: their pair was gate-proven consistent, and
+  // running the check would install read mappings into the replayed CSR.
+  if (skeena_on_ && !db_->replica()) {
     Status check = Status::OK();
     if (cross) {
       check = db_->csr().CommitCheck(cts[anchor], cts[other], wrote[anchor],
@@ -305,6 +361,12 @@ Status Transaction::Commit() {
     // Read-only sub-transactions may still have observed other
     // transactions' not-yet-durable results: gate on the log tail.
     lsns[e] = lsn != 0 ? lsn : db_->engine(e)->CurrentLsn();
+    if (i == 0 && cross && db_->options_.test_post_commit_hook) {
+      // Inter-engine post-commit window: one engine's results are visible
+      // (and its commit horizon may pass this transaction), the other's
+      // are not yet.
+      db_->options_.test_post_commit_hook(gtid_);
+    }
   }
 
   state_ = State::kCommitted;

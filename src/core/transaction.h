@@ -74,6 +74,9 @@ class Transaction {
   // acquisition, CSR selection, read-committed refresh).
   Status PrepareAccess(int e);
   Status EnsureAnchorSnapshot();
+  // Replica mode: pins the visibility-gate snapshot pair (both registries
+  // pre-registered before the pair is read, so GC floors cannot pass it).
+  Status EnsureReplicaSnapshots();
   // Aborts everything after an engine-level abort surfaced from a data op.
   Status HandleOpStatus(int e, Status s);
   void ReleaseAnchorSlot();
@@ -88,6 +91,10 @@ class Transaction {
 
   Timestamp anchor_snap_ = kInvalidTimestamp;
   size_t anchor_slot_ = ~size_t{0};
+  // Replica mode: the gate pair's other-engine component and its slot in
+  // the replica-other registry (pins the other engine's purge floor).
+  Timestamp replica_other_snap_ = kInvalidTimestamp;
+  size_t replica_other_slot_ = ~size_t{0};
 
   std::unique_ptr<SubTxn> subs_[kNumEngines];
   bool used_[kNumEngines] = {false, false};

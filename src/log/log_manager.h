@@ -237,7 +237,11 @@ class LogManager {
 /// mismatch all read as end-of-log.
 class LogReader {
  public:
-  explicit LogReader(const StorageDevice* device) : device_(device) {}
+  /// `start_offset` must be frame-aligned (0, or a value returned by
+  /// offset()); replication shipping cursors resume from the last
+  /// acknowledged frame boundary this way.
+  explicit LogReader(const StorageDevice* device, uint64_t start_offset = 0)
+      : device_(device), offset_(start_offset) {}
 
   /// Reads the next record into *record. Returns false at end of log or on
   /// a torn/partial record (which recovery treats as the end).

@@ -235,7 +235,14 @@ Status MemEngine::PreCommit(MemTxn* txn, GlobalTxnId gtid,
   }
 
   LatchWriteSet(txn);
+  // Enter the committing window *before* drawing the commit timestamp:
+  // ReplicationHorizon()'s registry scan waits out the sentinel, so every
+  // commit with cts <= a sampled horizon has already left the window —
+  // i.e. finished its last log append. Registered until PostCommit/Abort.
+  txn->committing_slot_ = committing_.Acquire();
+  committing_.BeginAcquire(txn->committing_slot_);
   txn->commit_ts_ = clock_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  committing_.SetSnapshot(txn->committing_slot_, txn->commit_ts_);
 
   // First-committer-wins: the latest committed version of every written
   // record must be visible in our snapshot.
@@ -354,6 +361,12 @@ Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
         reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
   }
 
+  // Leave the committing window only after the last log append: the
+  // replication horizon must not pass this cts while records are pending.
+  if (txn->committing_slot_ != MemTxn::kNone) {
+    committing_.Release(txn->committing_slot_);
+    txn->committing_slot_ = MemTxn::kNone;
+  }
   txn->state_ = MemTxn::State::kCommitted;
   active_.Release(txn->registry_slot());
   MaybeAdvanceGcFloor(commit_count_.Increment());
@@ -366,6 +379,10 @@ void MemEngine::Abort(MemTxn* txn) {
     return;
   }
   UnlatchWriteSet(txn);
+  if (txn->committing_slot_ != MemTxn::kNone) {
+    committing_.Release(txn->committing_slot_);
+    txn->committing_slot_ = MemTxn::kNone;
+  }
   txn->state_ = MemTxn::State::kAborted;
   active_.Release(txn->registry_slot());
   abort_count_.Add(1);
@@ -419,6 +436,90 @@ MemEngine::Stats MemEngine::stats() const {
   s.aborts = abort_count_.Read();
   s.versions_pruned = pruned_count_.Read();
   return s;
+}
+
+Timestamp MemEngine::ReplicationHorizon() const {
+  // Fallback clock+1, read before the scan: with no committer in the
+  // window every drawn cts has finished appending, so the horizon is the
+  // clock itself. A committer that enters after the scan draws its cts
+  // from a later fetch-add, i.e. strictly above the value we return.
+  Timestamp clock = clock_.load(std::memory_order_seq_cst);
+  return committing_.MinActive(clock + 1) - 1;
+}
+
+Status MemEngine::ApplyReplicated(GlobalTxnId gtid, Timestamp cts,
+                                  const std::vector<LogRecord>& records) {
+  // Resolve target records first, deduplicating by record (the spin latch
+  // is not reentrant); the last image wins, matching the primary's
+  // write-set semantics.
+  struct Pending {
+    Record* rec;
+    const LogRecord* r;
+  };
+  std::vector<Pending> pend;
+  pend.reserve(records.size());
+  for (const LogRecord& r : records) {
+    MemTable* t = GetTable(r.table);
+    if (t == nullptr) {
+      return Status::Corruption("replicated record references unknown table");
+    }
+    Record* rec = t->FindOrCreate(r.key);
+    bool dup = false;
+    for (auto& p : pend) {
+      if (p.rec == rec) {
+        p.r = &r;
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) pend.push_back(Pending{rec, &r});
+  }
+
+  // Re-log locally (data before commit, like a primary post-commit) so the
+  // replica's own WAL recovers to the same state.
+  if (log_ != nullptr) {
+    LogRecord out;
+    for (const Pending& p : pend) {
+      out = *p.r;
+      out.type = LogRecordType::kData;
+      out.gtid = gtid;
+      out.cts = cts;
+      std::string encoded = out.Encode();
+      log_->Append(std::span<const uint8_t>(
+          reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+    }
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.gtid = gtid;
+    commit.cts = cts;
+    std::string encoded = commit.Encode();
+    log_->Append(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
+  }
+
+  // Install under the record latches: replica readers run concurrently and
+  // ReadVisible's wait-out-the-latch handshake is what orders their chain
+  // walk against this install.
+  std::vector<Record*> recs;
+  recs.reserve(pend.size());
+  for (const Pending& p : pend) recs.push_back(p.rec);
+  std::sort(recs.begin(), recs.end());
+  for (Record* r : recs) r->latch.lock();
+
+  Timestamp floor = gc_floor_.load(std::memory_order_acquire);
+  std::vector<Version*> garbage;
+  for (const Pending& p : pend) {
+    auto* v = new Version{cts, p.rec->head.load(std::memory_order_relaxed),
+                          p.r->tombstone, p.r->value};
+    p.rec->head.store(v, std::memory_order_release);
+    if (Version* g = PruneVersions(v, floor)) garbage.push_back(g);
+  }
+  for (Record* r : recs) r->latch.unlock();
+  for (Version* g : garbage) epoch_->RetireRaw(g, &DeleteVersionChain);
+
+  AtomicFetchMax(clock_, cts, std::memory_order_seq_cst);
+  MaybeAdvanceGcFloor(commit_count_.Increment());
+  return Status::OK();
 }
 
 Status MemEngine::Recover(const std::set<GlobalTxnId>& excluded) {

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "log/log_manager.h"
+#include "log/log_records.h"
 #include "memdb/mem_table.h"
 #include "memdb/mem_txn.h"
 
@@ -128,6 +129,23 @@ class MemEngine {
   /// Aborts an active or pre-committed transaction.
   void Abort(MemTxn* txn);
 
+  // ------------------------------------------------------- replication
+  /// Commit horizon for log shipping: every commit with cts <= the returned
+  /// value has appended ALL of its log records (the committing-window
+  /// registry is held from before the timestamp draw until after the last
+  /// append, so the scan cannot miss an in-flight committer). Log append
+  /// order is not cts order, so a plain "ship up to LSN X" carries no such
+  /// guarantee on its own — the shipper samples this horizon, then the LSN.
+  Timestamp ReplicationHorizon() const;
+
+  /// Replica-side apply of one replayed committed transaction: installs the
+  /// write images at `cts`, re-logs them locally, and advances the clock to
+  /// at least `cts`. Must be called in ascending-cts order (single applier
+  /// thread); concurrent read-only transactions are safe — installs take
+  /// the record latches like a primary post-commit.
+  Status ApplyReplicated(GlobalTxnId gtid, Timestamp cts,
+                         const std::vector<LogRecord>& records);
+
   // ------------------------------------------------------------- misc
   LogManager* log() const { return log_.get(); }
 
@@ -185,6 +203,9 @@ class MemEngine {
 
   std::atomic<Timestamp> clock_{1};  // ts 1 = pre-loaded ("genesis") data
   ActiveSnapshotRegistry active_;
+  // Committers registered from before their cts draw until their last log
+  // append; MinActive over it bounds ReplicationHorizon().
+  ActiveSnapshotRegistry committing_;
 
   // Reclamation domain (shared with the CSR and the other engine when
   // database-owned). Declared before the floor/counters so a standalone

@@ -1,0 +1,342 @@
+#include "repl/applier.h"
+
+#include <algorithm>
+
+namespace skeena::repl {
+
+namespace {
+constexpr int kMemIndex = static_cast<int>(EngineKind::kMem);
+constexpr int kStorIndex = static_cast<int>(EngineKind::kStor);
+}  // namespace
+
+Replica::Replica(Database* db, Options options)
+    : db_(db), options_(options) {
+  db_->SetReplicaSnapshotProvider([this] { return GatePair(); });
+}
+
+Replica::~Replica() { Stop(); }
+
+Status Replica::Start() {
+  if (!db_->replica()) {
+    return Status::InvalidArgument(
+        "Replica requires DatabaseOptions::replica = true");
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void Replica::Stop() {
+  stop_.store(true, std::memory_order_release);
+  ch_.Shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Replica::KillChannel() { ch_.Shutdown(); }
+
+std::pair<Timestamp, Timestamp> Replica::GatePair() const {
+  std::lock_guard<std::mutex> guard(gate_mu_);
+  return {gate_anchor_, gate_other_};
+}
+
+Replica::Progress Replica::progress() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  Progress p;
+  for (int e = 0; e < kNumEngines; ++e) {
+    p.recv_lsn[e] = recv_lsn_[e];
+    p.applied_horizon[e] = applied_horizon_[e];
+  }
+  p.csr_seq = csr_seq_;
+  p.watermarks = watermarks_;
+  p.reconnects = reconnects_;
+  p.groups_applied = groups_applied_;
+  return p;
+}
+
+bool Replica::WaitCaughtUp(Lsn mem_lsn, Lsn stor_lsn, uint64_t csr_seq,
+                           std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [&] {
+    if (recv_lsn_[kMemIndex] < mem_lsn) return false;
+    if (recv_lsn_[kStorIndex] < stor_lsn) return false;
+    if (csr_seq_ < csr_seq) return false;
+    if (applying_) return false;
+    for (int e = 0; e < kNumEngines; ++e) {
+      if (!ready_[e].empty()) return false;
+    }
+    return true;
+  });
+}
+
+void Replica::RunLoop() {
+  bool connected_once = false;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Status s = ch_.ConnectTo(options_.host, options_.port);
+    if (!s.ok()) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.reconnect_interval_us));
+      continue;
+    }
+    if (connected_once) {
+      std::lock_guard<std::mutex> guard(mu_);
+      ++reconnects_;
+    }
+    connected_once = true;
+    RunSession();
+    // Close discards any torn partial frame; the HELLO cursors only name
+    // fully received frames, so the tail is simply re-shipped.
+    ch_.Close();
+    if (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.reconnect_interval_us));
+    }
+  }
+}
+
+void Replica::RunSession() {
+  uint64_t rid = 1;
+  server::ReplHello hello;
+  hello.version = server::kProtocolVersion;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    hello.mem_lsn = recv_lsn_[kMemIndex];
+    hello.stor_lsn = recv_lsn_[kStorIndex];
+    hello.csr_seq = csr_seq_;
+  }
+  if (!ch_.Send(server::EncodeReplHello(rid++, hello)).ok()) return;
+  server::Frame f;
+  if (!ch_.Recv(&f).ok() ||
+      f.opcode != static_cast<uint8_t>(server::Op::kReplHelloOk)) {
+    return;
+  }
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!ch_.Recv(&f).ok()) return;
+    Status s = Status::OK();
+    switch (static_cast<server::Op>(f.opcode)) {
+      case server::Op::kReplLog: {
+        server::ReplLogBatch batch;
+        if (!server::DecodeReplLogBody(f.body, &batch)) {
+          s = Status::Corruption("mangled REPL_LOG");
+        } else {
+          s = HandleLog(batch);
+        }
+        break;
+      }
+      case server::Op::kReplCsr: {
+        server::ReplCsrBatch batch;
+        if (!server::DecodeReplCsrBody(f.body, &batch)) {
+          s = Status::Corruption("mangled REPL_CSR");
+        } else {
+          s = HandleCsr(batch);
+        }
+        break;
+      }
+      case server::Op::kReplWatermark: {
+        server::ReplWatermark wm;
+        if (!server::DecodeReplWatermarkBody(f.body, &wm)) {
+          s = Status::Corruption("mangled REPL_WATERMARK");
+        } else {
+          s = HandleWatermark(wm, &rid);
+        }
+        break;
+      }
+      default:
+        s = Status::Corruption("unexpected replication opcode");
+    }
+    // Any stream-level fault drops the session; the reconnect resumes
+    // from the received cursors and re-ships the suspect range.
+    if (!s.ok()) return;
+  }
+}
+
+Status Replica::HandleLog(const server::ReplLogBatch& batch) {
+  if (batch.engine >= kNumEngines) {
+    return Status::Corruption("bad engine index");
+  }
+  int e = batch.engine;
+  if (batch.start_lsn != recv_lsn_[e]) {
+    return Status::Corruption("non-contiguous REPL_LOG batch");
+  }
+  for (const std::string& raw : batch.records) {
+    LogRecord rec;
+    if (!LogRecord::Decode(raw, &rec)) {
+      return Status::Corruption("undecodable shipped log record");
+    }
+    switch (rec.type) {
+      case LogRecordType::kData:
+        pending_[e][rec.gtid].push_back(std::move(rec));
+        break;
+      case LogRecordType::kCommitBegin:
+        break;  // pre-commit marker; the kCommitEnd closes the group
+      case LogRecordType::kCommit:
+      case LogRecordType::kCommitEnd: {
+        auto it = pending_[e].find(rec.gtid);
+        if (it == pending_[e].end() || it->second.empty()) {
+          // Read-only commit record (borrowed, possibly colliding cts) —
+          // nothing to apply.
+          if (it != pending_[e].end()) pending_[e].erase(it);
+          break;
+        }
+        std::vector<LogRecord> group = std::move(it->second);
+        pending_[e].erase(it);
+        std::lock_guard<std::mutex> guard(mu_);
+        auto ins = ready_[e].emplace(
+            rec.cts, std::make_pair(rec.gtid, std::move(group)));
+        if (!ins.second) {
+          return Status::Corruption("duplicate commit timestamp in stream");
+        }
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    recv_lsn_[e] = batch.end_lsn;
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status Replica::HandleCsr(const server::ReplCsrBatch& batch) {
+  if (batch.first_seq > csr_seq_) {
+    return Status::Corruption("gap in CSR install stream");
+  }
+  uint64_t seq = batch.first_seq;
+  for (const auto& [key, value] : batch.entries) {
+    if (seq++ < csr_seq_) continue;  // overlap after resume; already applied
+    SKEENA_RETURN_NOT_OK(db_->csr().ReplayInstall(key, value));
+    auto it = gate_mappings_.find(key);
+    if (it == gate_mappings_.end()) {
+      gate_mappings_.emplace(key, std::make_pair(value, value));
+    } else {
+      it->second.first = std::min(it->second.first, value);
+      it->second.second = std::max(it->second.second, value);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    csr_seq_ = std::max(csr_seq_, seq);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status Replica::ApplyGroup(int e, GlobalTxnId gtid, Timestamp cts,
+                           const std::vector<LogRecord>& records) {
+  if (e == kMemIndex) {
+    return db_->mem()->engine()->ApplyReplicated(gtid, cts, records);
+  }
+  stordb::StorEngine* stor = db_->stor()->engine();
+  auto txn = stor->Begin(IsolationLevel::kSnapshot, kMaxTimestamp);
+  if (!txn) return Status::IOError("replica stordb Begin failed");
+  for (const LogRecord& rec : records) {
+    Status s;
+    if (rec.tombstone) {
+      s = stor->Delete(txn.get(), rec.table, rec.key);
+      // A row inserted and deleted within one primary transaction ships
+      // only its final tombstone; the key never existed here.
+      if (s.IsNotFound()) s = Status::OK();
+    } else {
+      s = stor->Put(txn.get(), rec.table, rec.key, rec.value);
+    }
+    if (!s.ok()) {
+      stor->Abort(txn.get());
+      return s;
+    }
+  }
+  stor->CommitReplicated(txn.get(), gtid, cts);
+  return Status::OK();
+}
+
+Status Replica::HandleWatermark(const server::ReplWatermark& wm,
+                                uint64_t* rid) {
+  Timestamp horizon[kNumEngines];
+  horizon[kMemIndex] = wm.mem_horizon;
+  horizon[kStorIndex] = wm.stor_horizon;
+
+  // Extract coverable groups under the lock, apply outside it: the
+  // engines' GC floor providers re-enter GatePair() during apply.
+  std::vector<std::pair<GlobalTxnId, std::vector<LogRecord>>>
+      batch[kNumEngines];
+  std::vector<Timestamp> cts_of[kNumEngines];
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (int e = 0; e < kNumEngines; ++e) {
+      auto& q = ready_[e];
+      while (!q.empty() && q.begin()->first <= horizon[e]) {
+        cts_of[e].push_back(q.begin()->first);
+        batch[e].push_back(std::move(q.begin()->second));
+        q.erase(q.begin());
+      }
+    }
+    applying_ = true;
+  }
+  Status s = Status::OK();
+  for (int e = 0; e < kNumEngines && s.ok(); ++e) {
+    for (size_t i = 0; i < batch[e].size() && s.ok(); ++i) {
+      s = ApplyGroup(e, batch[e][i].first, cts_of[e][i], batch[e][i].second);
+    }
+  }
+  if (s.ok()) {
+    // Both engines now cover their horizons; clamp + publish the gate.
+    int anchor = db_->anchor_index();
+    RecomputeGate(horizon[anchor], horizon[1 - anchor]);
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    applying_ = false;
+    if (s.ok()) {
+      for (int e = 0; e < kNumEngines; ++e) {
+        applied_horizon_[e] = std::max(applied_horizon_[e], horizon[e]);
+        groups_applied_ += batch[e].size();
+      }
+      ++watermarks_;
+    }
+  }
+  cv_.notify_all();
+  SKEENA_RETURN_NOT_OK(s);
+
+  server::ReplAck ack;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    ack.mem_lsn = recv_lsn_[kMemIndex];
+    ack.stor_lsn = recv_lsn_[kStorIndex];
+    ack.csr_seq = csr_seq_;
+  }
+  return ch_.Send(server::EncodeReplAck((*rid)++, ack));
+}
+
+void Replica::RecomputeGate(Timestamp anchor_h, Timestamp other_h) {
+  Timestamp a = anchor_h;
+  Timestamp o = other_h;
+  if (!gate_disabled_.load(std::memory_order_acquire)) {
+    // Descending scan over replayed mappings (anchor key -> [lo, hi]
+    // other-engine values). A mapping above the pair on either side drags
+    // both components below it; the first mapping entirely inside stops
+    // the scan — CSR values are monotone in key order, so every older
+    // mapping is inside too.
+    for (auto it = gate_mappings_.rbegin(); it != gate_mappings_.rend();
+         ++it) {
+      Timestamp key = it->first;
+      Timestamp lo = it->second.first;
+      Timestamp hi = it->second.second;
+      if (key > a) {
+        o = std::min(o, lo - 1);
+        continue;
+      }
+      if (hi > o) {
+        a = std::min(a, key - 1);
+        o = std::min(o, lo - 1);
+        continue;
+      }
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> guard(gate_mu_);
+  // Component-wise max keeps the gate monotone. A raw pair older than the
+  // published one on one side cannot un-publish data already served.
+  gate_anchor_ = std::max(gate_anchor_, a);
+  gate_other_ = std::max(gate_other_, o);
+}
+
+}  // namespace skeena::repl

@@ -1,0 +1,149 @@
+#ifndef SKEENA_REPL_APPLIER_H_
+#define SKEENA_REPL_APPLIER_H_
+
+// Replica-side replication applier (docs/REPLICATION.md). Connects to a
+// Shipper, replays both engines' log streams and the CSR install journal
+// into a replica-mode Database, and publishes the visibility gate that
+// replica read transactions take their snapshot pair from.
+//
+// Visibility gating: the shipper's watermark proves both engines are
+// individually complete up to (mem_horizon, stor_horizon), but the two
+// horizons were sampled at different instants, so a cross-engine commit
+// can straddle them — visible in one engine, missing in the other. The
+// gate clamps the raw pair against the replayed CSR mappings: scanning
+// mappings by anchor key descending, any mapping whose key or value pokes
+// above the current pair drags both components below it, until a mapping
+// falls entirely inside (CSR values are monotone in key order, so
+// everything older is inside too). The published gate is the
+// component-wise max with the previous gate — monotone per session, and
+// every (anchor, other) pair it ever exposes is cross-engine consistent
+// against the replayed CSR prefix.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/database.h"
+#include "log/log_records.h"
+#include "repl/channel.h"
+#include "server/wire.h"
+
+namespace skeena::repl {
+
+class Replica {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // the shipper's port
+    /// Backoff between reconnect attempts after a severed channel.
+    uint32_t reconnect_interval_us = 2000;
+  };
+
+  /// `db` must be constructed with DatabaseOptions::replica = true. The
+  /// constructor installs this applier as the db's snapshot provider.
+  Replica(Database* db, Options options);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Test hook: severs the channel mid-stream. The run loop reconnects
+  /// and resumes from the received (frame-aligned) cursors; buffered
+  /// pending/ready groups survive the kill.
+  void KillChannel();
+
+  /// Test hook: publish the raw watermark horizons as the gate, skipping
+  /// the CSR clamp. UNSOUND — exists so the SI checker can demonstrate
+  /// the torn cross-engine reads the gate prevents (non-vacuity).
+  void TestOnlyDisableGate() {
+    gate_disabled_.store(true, std::memory_order_release);
+  }
+
+  /// Current gate pair (anchor snapshot, other-engine snapshot).
+  /// Component-wise monotone; (1, 1) until the first watermark.
+  std::pair<Timestamp, Timestamp> GatePair() const;
+
+  /// Blocks until the received stream positions reach the given targets
+  /// AND every buffered group has been applied (the caller samples the
+  /// targets on the primary after quiescing writers). False on timeout.
+  bool WaitCaughtUp(Lsn mem_lsn, Lsn stor_lsn, uint64_t csr_seq,
+                    std::chrono::milliseconds timeout);
+
+  struct Progress {
+    Lsn recv_lsn[kNumEngines] = {};
+    uint64_t csr_seq = 0;
+    Timestamp applied_horizon[kNumEngines] = {};
+    uint64_t watermarks = 0;
+    uint64_t reconnects = 0;
+    uint64_t groups_applied = 0;
+  };
+  Progress progress() const;
+
+ private:
+  void RunLoop();
+  /// One connected session: handshake + frame pump. Returns when the
+  /// channel dies or Stop() is called.
+  void RunSession();
+  Status HandleLog(const server::ReplLogBatch& batch);
+  Status HandleCsr(const server::ReplCsrBatch& batch);
+  Status HandleWatermark(const server::ReplWatermark& wm, uint64_t* rid);
+  Status ApplyGroup(int e, GlobalTxnId gtid, Timestamp cts,
+                    const std::vector<LogRecord>& records);
+  /// Clamp (anchor_h, other_h) against gate_mappings_ and publish.
+  void RecomputeGate(Timestamp anchor_h, Timestamp other_h);
+
+  Database* db_;
+  Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> gate_disabled_{false};
+  ReplChannel ch_;
+
+  // --- stream + staging state, owned by the run thread. Fields also read
+  // by WaitCaughtUp/progress are mutated under mu_ (held only around the
+  // mutation, never across engine calls — the engines' GC providers call
+  // back into GatePair).
+  Lsn recv_lsn_[kNumEngines] = {};
+  uint64_t csr_seq_ = 0;
+  // Data records grouped per gtid until the commit marker lands.
+  std::unordered_map<GlobalTxnId, std::vector<LogRecord>> pending_[kNumEngines];
+  // Committed groups keyed by commit timestamp (mem cts / stor ser),
+  // applied in ascending order once a watermark covers them.
+  std::map<Timestamp, std::pair<GlobalTxnId, std::vector<LogRecord>>>
+      ready_[kNumEngines];
+  // Replayed CSR mappings: anchor key -> installed [lo, hi] value range.
+  // Run-thread only; the gate scan walks it descending.
+  std::map<Timestamp, std::pair<Timestamp, Timestamp>> gate_mappings_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool applying_ = false;  // groups extracted from ready_, not yet applied
+  Timestamp applied_horizon_[kNumEngines] = {};
+  uint64_t watermarks_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t groups_applied_ = 0;
+
+  // Published gate. Separate lock: GatePair() is called from reader
+  // threads and from engine GC floors re-entered under mu_.
+  mutable std::mutex gate_mu_;
+  Timestamp gate_anchor_ = 1;
+  Timestamp gate_other_ = 1;
+};
+
+}  // namespace skeena::repl
+
+#endif  // SKEENA_REPL_APPLIER_H_

@@ -1,0 +1,209 @@
+#include "repl/channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace skeena::repl {
+
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+ReplChannel::~ReplChannel() { Close(); }
+
+Status ReplChannel::ConnectTo(const std::string& host, uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  SetNoDelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect: " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  fd_.store(fd, std::memory_order_release);
+  return Status::OK();
+}
+
+void ReplChannel::Adopt(int fd) {
+  Close();
+  SetNoDelay(fd);
+  fd_.store(fd, std::memory_order_release);
+}
+
+Status ReplChannel::Send(std::string_view frame) {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::IOError("channel not connected");
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status ReplChannel::Recv(server::Frame* frame) {
+  for (;;) {
+    size_t consumed = 0;
+    server::Err err;
+    uint64_t hint;
+    server::ParseResult r =
+        server::ExtractFrame(inbuf_, &consumed, frame, &err, &hint);
+    if (r == server::ParseResult::kFrame) {
+      inbuf_.erase(0, consumed);
+      return Status::OK();
+    }
+    if (r == server::ParseResult::kError) {
+      return Status::Corruption(std::string("repl framing violation: ") +
+                                server::ErrName(err));
+    }
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return Status::IOError("channel closed");
+    char buf[16384];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::IOError("connection closed by peer");
+    return Status::IOError("recv: " + std::string(strerror(errno)));
+  }
+}
+
+bool ReplChannel::TryRecv(server::Frame* frame, Status* error) {
+  *error = Status::OK();
+  for (;;) {
+    size_t consumed = 0;
+    server::Err err;
+    uint64_t hint;
+    server::ParseResult r =
+        server::ExtractFrame(inbuf_, &consumed, frame, &err, &hint);
+    if (r == server::ParseResult::kFrame) {
+      inbuf_.erase(0, consumed);
+      return true;
+    }
+    if (r == server::ParseResult::kError) {
+      *error = Status::Corruption(std::string("repl framing violation: ") +
+                                  server::ErrName(err));
+      return false;
+    }
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) {
+      *error = Status::IOError("channel closed");
+      return false;
+    }
+    char buf[16384];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      *error = Status::IOError("connection closed by peer");
+    } else {
+      *error = Status::IOError("recv: " + std::string(strerror(errno)));
+    }
+    return false;
+  }
+}
+
+void ReplChannel::Shutdown() {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ReplChannel::Close() {
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+  inbuf_.clear();
+}
+
+ReplListener::~ReplListener() { Close(); }
+
+Status ReplListener::Listen(uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("bind: " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s = Status::IOError("listen: " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Status::IOError("getsockname: " + std::string(strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
+  return Status::OK();
+}
+
+int ReplListener::Accept() {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return -1;
+  for (;;) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      SetNoDelay(conn);
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    return -1;  // shutdown or hard error; the accept loop exits
+  }
+}
+
+void ReplListener::Shutdown() {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ReplListener::Close() {
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace skeena::repl

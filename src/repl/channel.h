@@ -1,0 +1,93 @@
+#ifndef SKEENA_REPL_CHANNEL_H_
+#define SKEENA_REPL_CHANNEL_H_
+
+// Blocking-socket transport for the replication stream
+// (docs/REPLICATION.md). Frames reuse the SKNA header and extraction from
+// server/wire.h; one ReplChannel wraps one connected fd. Each end drives
+// its channel from a single thread (the shipper's per-connection serve
+// loop, the replica's run loop), so buffers need no locking — only
+// Shutdown() is cross-thread, used by Stop()/KillChannel() to break a
+// blocked Send/Recv.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/wire.h"
+
+namespace skeena::repl {
+
+class ReplChannel {
+ public:
+  ReplChannel() = default;
+  ~ReplChannel();
+
+  ReplChannel(const ReplChannel&) = delete;
+  ReplChannel& operator=(const ReplChannel&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad) with TCP_NODELAY. Any
+  /// previous connection is closed first.
+  Status ConnectTo(const std::string& host, uint16_t port);
+
+  /// Takes ownership of an already-accepted fd (shipper side).
+  void Adopt(int fd);
+
+  bool connected() const {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
+
+  /// Writes the whole frame (handles partial sends / EINTR; MSG_NOSIGNAL).
+  Status Send(std::string_view frame);
+
+  /// Blocks until one complete frame is parsed. IOError on peer close or
+  /// Shutdown(); Corruption on a framing violation (the stream cannot be
+  /// resynchronized — the caller must drop the connection).
+  Status Recv(server::Frame* frame);
+
+  /// Non-blocking drain: parses a buffered frame or reads whatever the
+  /// socket already has. Returns true with *frame filled when a complete
+  /// frame was available. On stream failure returns false with *error set
+  /// to non-OK; otherwise *error is OK (just no frame yet).
+  bool TryRecv(server::Frame* frame, Status* error);
+
+  /// Thread-safe: fails any blocked Send/Recv on this channel. The fd is
+  /// reclaimed by Close()/destructor on the owning thread.
+  void Shutdown();
+
+  /// Closes the fd and discards buffered partial input (a killed
+  /// connection's torn frame must not leak into the next session).
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::string inbuf_;
+};
+
+/// Listening socket for the shipper (port 0 = kernel-assigned, read back
+/// via port()). Accept() blocks until a connection arrives or Shutdown().
+class ReplListener {
+ public:
+  ReplListener() = default;
+  ~ReplListener();
+
+  ReplListener(const ReplListener&) = delete;
+  ReplListener& operator=(const ReplListener&) = delete;
+
+  Status Listen(uint16_t port);
+  /// Returns an accepted fd (TCP_NODELAY set), or -1 after Shutdown().
+  int Accept();
+  uint16_t port() const { return port_; }
+
+  void Shutdown();
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace skeena::repl
+
+#endif  // SKEENA_REPL_CHANNEL_H_

@@ -1,0 +1,212 @@
+#include "repl/shipper.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "log/log_manager.h"
+
+namespace skeena::repl {
+
+namespace {
+constexpr int kMemIndex = static_cast<int>(EngineKind::kMem);
+constexpr int kStorIndex = static_cast<int>(EngineKind::kStor);
+}  // namespace
+
+Shipper::Shipper(Database* db, CsrInstallJournal* journal, Options options)
+    : db_(db), journal_(journal), options_(options) {}
+
+Shipper::~Shipper() { Stop(); }
+
+Status Shipper::Start() {
+  SKEENA_RETURN_NOT_OK(listener_.Listen(options_.port));
+  stop_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Shipper::Stop() {
+  stop_.store(true, std::memory_order_release);
+  listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> guard(conns_mu_);
+    for (ReplChannel* ch : live_) ch->Shutdown();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+}
+
+void Shipper::AcceptLoop() {
+  // Connections are served sequentially: one replica per shipper is the
+  // deployment shape, and a killed connection's serve loop exits (its
+  // sends fail) before the replacement is accepted from the backlog.
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = listener_.Accept();
+    if (fd < 0) return;  // listener shut down
+    Serve(fd);
+  }
+}
+
+Status Shipper::SendOnChannel(ReplChannel& ch, std::string frame) {
+  int64_t cut = cut_after_.load(std::memory_order_acquire);
+  if (cut >= 0) {
+    if (static_cast<int64_t>(frame.size()) >= cut) {
+      // Put exactly `cut` bytes on the wire — a torn frame — then sever.
+      ch.Send(std::string_view(frame).substr(0, static_cast<size_t>(cut)));
+      cut_after_.store(-1, std::memory_order_release);
+      ch.Shutdown();
+      return Status::IOError("test cut");
+    }
+    cut_after_.store(cut - static_cast<int64_t>(frame.size()),
+                     std::memory_order_release);
+  }
+  return ch.Send(frame);
+}
+
+Status Shipper::ShipLogs(ReplChannel& ch, int e, uint64_t* rid, Lsn* cursor,
+                         Lsn target, bool* progress) {
+  if (*cursor >= target) return Status::OK();
+  EngineIface* eng = db_->engine(e);
+  const StorageDevice* dev = eng->LogDevice();
+  if (dev == nullptr) return Status::OK();
+  // Torn-tail rule: never put a frame on the wire before the primary has
+  // it durable. No forced flush — the engine's group commit advances this.
+  Lsn limit = std::min(target, eng->DurableLsn());
+  if (*cursor >= limit) return Status::OK();
+  LogReader reader(dev, *cursor);
+  server::ReplLogBatch batch;
+  batch.engine = static_cast<uint8_t>(e);
+  batch.start_lsn = *cursor;
+  Lsn end = *cursor;
+  size_t bytes = 0;
+  std::string rec;
+  while (end < limit && bytes < options_.max_batch_bytes) {
+    if (!reader.Next(&rec)) break;
+    if (reader.offset() > limit) break;  // frame crosses the bound
+    end = reader.offset();
+    bytes += rec.size() + 4;
+    batch.records.push_back(std::move(rec));
+  }
+  if (batch.records.empty()) return Status::OK();
+  batch.end_lsn = end;
+  SKEENA_RETURN_NOT_OK(SendOnChannel(ch, EncodeReplLog((*rid)++, batch)));
+  *cursor = end;
+  *progress = true;
+  return Status::OK();
+}
+
+Status Shipper::ShipCsr(ReplChannel& ch, uint64_t* rid, uint64_t* cursor,
+                        uint64_t target, bool* progress) {
+  if (*cursor >= target) return Status::OK();
+  server::ReplCsrBatch batch;
+  batch.first_seq = *cursor;
+  uint64_t want = std::min<uint64_t>(target - *cursor,
+                                     options_.max_batch_bytes / 16);
+  journal_->Read(*cursor, std::max<uint64_t>(want, 1), &batch.entries);
+  if (batch.entries.empty()) return Status::OK();
+  SKEENA_RETURN_NOT_OK(SendOnChannel(ch, EncodeReplCsr((*rid)++, batch)));
+  *cursor += batch.entries.size();
+  *progress = true;
+  return Status::OK();
+}
+
+void Shipper::Serve(int fd) {
+  ReplChannel ch;
+  ch.Adopt(fd);
+  {
+    std::lock_guard<std::mutex> guard(conns_mu_);
+    live_.push_back(&ch);
+  }
+  connections_.fetch_add(1, std::memory_order_relaxed);
+
+  // Handshake: the replica leads with its resume cursors.
+  server::Frame hello_frame;
+  server::ReplHello hello;
+  bool ok = ch.Recv(&hello_frame).ok() &&
+            hello_frame.opcode == static_cast<uint8_t>(server::Op::kReplHello) &&
+            server::DecodeReplHelloBody(hello_frame.body, &hello) &&
+            hello.version == server::kProtocolVersion;
+  if (ok) {
+    ok = SendOnChannel(ch, server::EncodeReplHelloOk(hello_frame.request_id,
+                                                     server::kProtocolVersion))
+             .ok();
+  }
+
+  uint64_t rid = 1;
+  Lsn cursor[kNumEngines] = {};
+  cursor[kMemIndex] = hello.mem_lsn;
+  cursor[kStorIndex] = hello.stor_lsn;
+  uint64_t csr_cursor = hello.csr_seq;
+
+  // One watermark in flight at a time. Horizons are sampled FIRST, stream
+  // targets AFTER: every commit at or below a horizon finished its appends
+  // before the horizon was computed, so its bytes sit below the targets
+  // sampled later — when the cursors reach all three targets, the
+  // watermark's coverage claim holds.
+  bool have_wm = false;
+  server::ReplWatermark wm{};
+  server::ReplWatermark last_sent{};
+  bool sent_any = false;
+  Lsn target[kNumEngines] = {};
+  uint64_t csr_target = 0;
+
+  while (ok && !stop_.load(std::memory_order_acquire)) {
+    if (!have_wm) {
+      Timestamp mem_h = db_->mem()->engine()->ReplicationHorizon();
+      Timestamp stor_h = db_->stor()->engine()->ReplicationHorizon();
+      target[kMemIndex] = db_->engine(kMemIndex)->CurrentLsn();
+      target[kStorIndex] = db_->engine(kStorIndex)->CurrentLsn();
+      csr_target = journal_->size();
+      wm.mem_horizon = mem_h;
+      wm.stor_horizon = stor_h;
+      wm.csr_seq = csr_target;
+      have_wm = true;
+    }
+    bool progress = false;
+    Status s = ShipLogs(ch, kMemIndex, &rid, &cursor[kMemIndex],
+                        target[kMemIndex], &progress);
+    if (s.ok()) {
+      s = ShipLogs(ch, kStorIndex, &rid, &cursor[kStorIndex],
+                   target[kStorIndex], &progress);
+    }
+    if (s.ok()) s = ShipCsr(ch, &rid, &csr_cursor, csr_target, &progress);
+    if (s.ok() && cursor[kMemIndex] >= target[kMemIndex] &&
+        cursor[kStorIndex] >= target[kStorIndex] && csr_cursor >= csr_target) {
+      bool advanced = !sent_any || wm.mem_horizon != last_sent.mem_horizon ||
+                      wm.stor_horizon != last_sent.stor_horizon ||
+                      wm.csr_seq != last_sent.csr_seq;
+      if (advanced) {
+        s = SendOnChannel(ch, server::EncodeReplWatermark(rid++, wm));
+        if (s.ok()) {
+          last_sent = wm;
+          sent_any = true;
+          watermarks_.fetch_add(1, std::memory_order_relaxed);
+          progress = true;
+        }
+      }
+      have_wm = false;  // recompute next pass
+    }
+    if (s.ok()) {
+      // Drain ACKs (informational; resume is replica-driven) and detect a
+      // closed peer without blocking.
+      server::Frame ack;
+      Status rerr;
+      while (ch.TryRecv(&ack, &rerr)) {
+      }
+      if (!rerr.ok()) s = rerr;
+    }
+    if (!s.ok()) break;
+    if (!progress) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.poll_interval_us));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(conns_mu_);
+    live_.erase(std::find(live_.begin(), live_.end(), &ch));
+  }
+  ch.Close();
+}
+
+}  // namespace skeena::repl

@@ -475,4 +475,121 @@ bool DecodeErrBody(std::string_view body, Err* code, std::string* msg) {
   return true;
 }
 
+// ------------------------------------------------------------- replication
+
+std::string EncodeReplHello(uint64_t request_id, const ReplHello& h) {
+  std::string f = BeginFrame(request_id, Op::kReplHello);
+  f.push_back(static_cast<char>(h.version));
+  PutLE64(&f, h.mem_lsn);
+  PutLE64(&f, h.stor_lsn);
+  PutLE64(&f, h.csr_seq);
+  return Seal(std::move(f));
+}
+
+std::string EncodeReplHelloOk(uint64_t request_id, uint8_t version) {
+  std::string f = BeginFrame(request_id, Op::kReplHelloOk);
+  f.push_back(static_cast<char>(version));
+  return Seal(std::move(f));
+}
+
+std::string EncodeReplLog(uint64_t request_id, const ReplLogBatch& b) {
+  std::string f = BeginFrame(request_id, Op::kReplLog);
+  f.push_back(static_cast<char>(b.engine));
+  PutLE64(&f, b.start_lsn);
+  PutLE64(&f, b.end_lsn);
+  PutLE32(&f, static_cast<uint32_t>(b.records.size()));
+  for (const std::string& rec : b.records) {
+    PutLE32(&f, static_cast<uint32_t>(rec.size()));
+    f.append(rec);
+  }
+  return Seal(std::move(f));
+}
+
+std::string EncodeReplCsr(uint64_t request_id, const ReplCsrBatch& b) {
+  std::string f = BeginFrame(request_id, Op::kReplCsr);
+  PutLE64(&f, b.first_seq);
+  PutLE32(&f, static_cast<uint32_t>(b.entries.size()));
+  for (const auto& [key, value] : b.entries) {
+    PutLE64(&f, key);
+    PutLE64(&f, value);
+  }
+  return Seal(std::move(f));
+}
+
+std::string EncodeReplWatermark(uint64_t request_id, const ReplWatermark& w) {
+  std::string f = BeginFrame(request_id, Op::kReplWatermark);
+  PutLE64(&f, w.mem_horizon);
+  PutLE64(&f, w.stor_horizon);
+  PutLE64(&f, w.csr_seq);
+  return Seal(std::move(f));
+}
+
+std::string EncodeReplAck(uint64_t request_id, const ReplAck& a) {
+  std::string f = BeginFrame(request_id, Op::kReplAck);
+  PutLE64(&f, a.mem_lsn);
+  PutLE64(&f, a.stor_lsn);
+  PutLE64(&f, a.csr_seq);
+  return Seal(std::move(f));
+}
+
+bool DecodeReplHelloBody(std::string_view body, ReplHello* h) {
+  Reader r(body);
+  return r.U8(&h->version) && r.U64(&h->mem_lsn) && r.U64(&h->stor_lsn) &&
+         r.U64(&h->csr_seq) && r.AtEnd();
+}
+
+bool DecodeReplHelloOkBody(std::string_view body, uint8_t* version) {
+  Reader r(body);
+  return r.U8(version) && r.AtEnd();
+}
+
+bool DecodeReplLogBody(std::string_view body, ReplLogBatch* b) {
+  Reader r(body);
+  uint32_t count;
+  if (!r.U8(&b->engine) || !r.U64(&b->start_lsn) || !r.U64(&b->end_lsn) ||
+      !r.U32(&count)) {
+    return false;
+  }
+  if (b->engine >= kNumEngines || b->end_lsn < b->start_lsn) return false;
+  // Each record costs at least its u32 length prefix; an oversized count is
+  // a malformed frame, rejected before the reserve can balloon.
+  if (count > r.left / 4) return false;
+  b->records.clear();
+  b->records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len;
+    std::string rec;
+    if (!r.U32(&len) || !r.Bytes(&rec, len)) return false;
+    b->records.push_back(std::move(rec));
+  }
+  return r.AtEnd();
+}
+
+bool DecodeReplCsrBody(std::string_view body, ReplCsrBatch* b) {
+  Reader r(body);
+  uint32_t count;
+  if (!r.U64(&b->first_seq) || !r.U32(&count)) return false;
+  if (count > r.left / 16) return false;  // 16 bytes per entry
+  b->entries.clear();
+  b->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t key, value;
+    if (!r.U64(&key) || !r.U64(&value)) return false;
+    b->entries.emplace_back(key, value);
+  }
+  return r.AtEnd();
+}
+
+bool DecodeReplWatermarkBody(std::string_view body, ReplWatermark* w) {
+  Reader r(body);
+  return r.U64(&w->mem_horizon) && r.U64(&w->stor_horizon) &&
+         r.U64(&w->csr_seq) && r.AtEnd();
+}
+
+bool DecodeReplAckBody(std::string_view body, ReplAck* a) {
+  Reader r(body);
+  return r.U64(&a->mem_lsn) && r.U64(&a->stor_lsn) && r.U64(&a->csr_seq) &&
+         r.AtEnd();
+}
+
 }  // namespace skeena::server

@@ -44,6 +44,9 @@ enum class Op : uint8_t {
   kCommit = 0x05,
   kAbort = 0x06,
   kPing = 0x07,
+  // replication (docs/REPLICATION.md): replica -> primary
+  kReplHello = 0x11,
+  kReplAck = 0x12,
   // responses
   kHelloOk = 0x81,
   kTableOk = 0x82,
@@ -52,6 +55,11 @@ enum class Op : uint8_t {
   kCommitOk = 0x85,
   kAbortOk = 0x86,
   kPong = 0x87,
+  // replication: primary -> replica
+  kReplHelloOk = 0x91,
+  kReplLog = 0x92,
+  kReplCsr = 0x93,
+  kReplWatermark = 0x94,
   kTxnErr = 0xEE,
   kProtoErr = 0xEF,
 };
@@ -191,6 +199,77 @@ bool DecodeExecOkBody(std::string_view body,
                       const std::vector<Stmt::Kind>& kinds,
                       std::vector<StmtResult>* results);
 bool DecodeErrBody(std::string_view body, Err* code, std::string* msg);
+
+// ------------------------------------------------------------- replication
+// The replication channel reuses the SKNA frame header + extraction; these
+// are the REPL_* opcode bodies (docs/REPLICATION.md). The channel is a
+// single ordered byte stream, so the stream position of each frame is the
+// resume cursor: REPL_HELLO names where the replica wants each stream to
+// restart and the shipper re-ships from exactly there.
+
+/// REPL_HELLO (replica -> primary): resume cursors. Log cursors are
+/// frame-aligned byte offsets into each engine's WAL; csr_seq counts CSR
+/// install-journal entries already received.
+struct ReplHello {
+  uint8_t version = kProtocolVersion;
+  Lsn mem_lsn = 0;
+  Lsn stor_lsn = 0;
+  uint64_t csr_seq = 0;
+};
+
+/// REPL_LOG (primary -> replica): a batch of whole WAL frames from one
+/// engine's log covering device bytes [start_lsn, end_lsn). `records` are
+/// the frame payloads (encoded LogRecords) in log order, re-framed as
+/// [u32 len][bytes] so the replica never re-parses device framing.
+struct ReplLogBatch {
+  uint8_t engine = 0;
+  Lsn start_lsn = 0;
+  Lsn end_lsn = 0;
+  std::vector<std::string> records;
+};
+
+/// REPL_CSR (primary -> replica): CSR install-journal entries
+/// [first_seq, first_seq + entries.size()), each an (anchor key, other
+/// engine value) install in primary install order.
+struct ReplCsrBatch {
+  uint64_t first_seq = 0;
+  std::vector<std::pair<Timestamp, Timestamp>> entries;
+};
+
+/// REPL_WATERMARK (primary -> replica): commit horizons. Every commit with
+/// mem cts <= mem_horizon (resp. stor ser <= stor_horizon) has all of its
+/// log records in the bytes already shipped, and every CSR install by a
+/// cross-engine commit below either horizon appears in journal entries
+/// < csr_seq. The replica applies up to the horizons, then recomputes its
+/// visibility gate (docs/REPLICATION.md "Visibility gating").
+struct ReplWatermark {
+  Timestamp mem_horizon = 0;
+  Timestamp stor_horizon = 0;
+  uint64_t csr_seq = 0;
+};
+
+/// REPL_ACK (replica -> primary): received-and-buffered stream positions
+/// after applying a watermark; informational (the primary keeps no
+/// per-replica durable state — resume is replica-driven via REPL_HELLO).
+struct ReplAck {
+  Lsn mem_lsn = 0;
+  Lsn stor_lsn = 0;
+  uint64_t csr_seq = 0;
+};
+
+std::string EncodeReplHello(uint64_t request_id, const ReplHello& h);
+std::string EncodeReplHelloOk(uint64_t request_id, uint8_t version);
+std::string EncodeReplLog(uint64_t request_id, const ReplLogBatch& b);
+std::string EncodeReplCsr(uint64_t request_id, const ReplCsrBatch& b);
+std::string EncodeReplWatermark(uint64_t request_id, const ReplWatermark& w);
+std::string EncodeReplAck(uint64_t request_id, const ReplAck& a);
+
+bool DecodeReplHelloBody(std::string_view body, ReplHello* h);
+bool DecodeReplHelloOkBody(std::string_view body, uint8_t* version);
+bool DecodeReplLogBody(std::string_view body, ReplLogBatch* b);
+bool DecodeReplCsrBody(std::string_view body, ReplCsrBatch* b);
+bool DecodeReplWatermarkBody(std::string_view body, ReplWatermark* w);
+bool DecodeReplAckBody(std::string_view body, ReplAck* a);
 
 }  // namespace skeena::server
 

@@ -396,7 +396,13 @@ Status StorEngine::PreCommit(StorTxn* txn, GlobalTxnId gtid,
     return Status::OK();
   }
 
+  // Enter the committing window *before* drawing the serialisation number
+  // (see MemEngine::PreCommit): ReplicationHorizon() must never pass a ser
+  // whose redo images are still pending at post-commit.
+  txn->committing_slot_ = committing_.Acquire();
+  committing_.BeginAcquire(txn->committing_slot_);
   txn->ser_no_ = trx_sys_.AssignSerNo(txn->tid_);
+  committing_.SetSnapshot(txn->committing_slot_, txn->ser_no_);
 
   // Only the commit-begin marker is logged here (Section 4.6); redo images
   // move to post-commit to keep the cross-engine timestamp-assignment
@@ -447,10 +453,35 @@ Lsn StorEngine::PostCommit(StorTxn* txn, GlobalTxnId gtid, bool cross_engine) {
     lsn = log_->Append(std::span<const uint8_t>(
         reinterpret_cast<const uint8_t*>(encoded.data()), encoded.size()));
   }
+  // Leave the committing window only after the last log append: the
+  // replication horizon must not pass this ser while records are pending.
+  if (txn->committing_slot_ != StorTxn::kNoSlot) {
+    committing_.Release(txn->committing_slot_);
+    txn->committing_slot_ = StorTxn::kNoSlot;
+  }
   txn->state_ = StorTxn::State::kCommitted;
   FinishTxn(txn);
   MaybePurge(commit_count_.Increment());
   return lsn;
+}
+
+Timestamp StorEngine::ReplicationHorizon() const {
+  // Fallback counter+1, read before the scan (see
+  // MemEngine::ReplicationHorizon): a committer entering the window after
+  // the scan draws its ser from a later counter increment, strictly above
+  // the value we return.
+  Timestamp latest = trx_sys_.LatestSerSnapshot();
+  return committing_.MinActive(latest + 1) - 1;
+}
+
+Lsn StorEngine::CommitReplicated(StorTxn* txn, GlobalTxnId gtid,
+                                 uint64_t ser) {
+  assert(txn->state_ == StorTxn::State::kActive);
+  assert(!txn->read_only());
+  trx_sys_.ForceSerNo(txn->tid_, ser);
+  txn->ser_no_ = ser;
+  txn->state_ = StorTxn::State::kPreCommitted;
+  return PostCommit(txn, gtid, /*cross_engine=*/false);
 }
 
 void StorEngine::Abort(StorTxn* txn) {
@@ -462,6 +493,10 @@ void StorEngine::Abort(StorTxn* txn) {
     trx_sys_.MarkAborting(txn->tid_);
     Rollback(txn);
     trx_sys_.FinishAbort(txn->tid_);
+  }
+  if (txn->committing_slot_ != StorTxn::kNoSlot) {
+    committing_.Release(txn->committing_slot_);
+    txn->committing_slot_ = StorTxn::kNoSlot;
   }
   txn->state_ = StorTxn::State::kAborted;
   FinishTxn(txn);

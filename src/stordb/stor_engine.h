@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/active_registry.h"
 #include "common/epoch.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
@@ -129,6 +130,21 @@ class StorEngine {
   /// changes from undo, then releases locks.
   void Abort(StorTxn* txn);
 
+  // ------------------------------------------------------- replication
+  /// Commit horizon for log shipping (see MemEngine::ReplicationHorizon):
+  /// every commit with ser_no <= the returned value has appended ALL of
+  /// its log records — the committing-window registry is held from before
+  /// the serialisation-number draw until after the last append.
+  Timestamp ReplicationHorizon() const;
+
+  /// Replica-side commit of one replayed transaction: stamps it with the
+  /// primary-assigned serialisation number (TrxSys::ForceSerNo) instead of
+  /// drawing one, then runs the normal post-commit (redo logging, commit
+  /// publication, lock release). The transaction must have been built
+  /// through the public write path (Begin + Put/Delete) and must not be
+  /// read-only. Call in ascending-ser order (single applier thread).
+  Lsn CommitReplicated(StorTxn* txn, GlobalTxnId gtid, uint64_t ser);
+
   // ------------------------------------------------------------- misc
   LogManager* log() const { return log_.get(); }
   BufferPool* pool() { return pool_.get(); }
@@ -218,6 +234,9 @@ class StorEngine {
   TrxSys trx_sys_;
   LockManager locks_;
   std::atomic<uint64_t> next_lock_owner_{1};
+  // Committers registered from before their ser draw until their last log
+  // append; MinActive over it bounds ReplicationHorizon().
+  ActiveSnapshotRegistry committing_;
 
   mutable std::mutex tables_mu_;
   std::vector<std::unique_ptr<StorTable>> tables_;

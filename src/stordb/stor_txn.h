@@ -101,9 +101,15 @@ class StorTxn {
   uint64_t ser_no_ = 0;  // assigned at pre-commit
   uint64_t lock_owner_ = 0;  // distinct id for the lock manager
 
+  static constexpr size_t kNoSlot = ~size_t{0};
+
   ReadView view_;
   bool has_view_ = false;
-  size_t view_slot_ = ~size_t{0};
+  size_t view_slot_ = kNoSlot;
+  // Slot in the engine's committing-window registry, held from the
+  // serialisation-number draw until the last log append (replication
+  // horizon).
+  size_t committing_slot_ = kNoSlot;
   // Desired cross-engine snapshot for lazily created views
   // (kMaxTimestamp = native view).
   uint64_t pending_ser_limit_ = kMaxTimestamp;

@@ -27,6 +27,15 @@ uint64_t TrxSys::AssignSerNo(uint64_t tid) {
   return ser;
 }
 
+void TrxSys::ForceSerNo(uint64_t tid, uint64_t ser) {
+  std::lock_guard<std::mutex> guard(mu_);
+  states_.Put(tid, StateSnapshot{TxnState::kPreCommitted, ser});
+  if (ser >= next_tid_) next_tid_ = ser + 1;
+  if (ser > last_allocated_.load(std::memory_order_relaxed)) {
+    last_allocated_.store(ser, std::memory_order_release);
+  }
+}
+
 void TrxSys::MarkCommitted(uint64_t tid) {
   std::lock_guard<std::mutex> guard(mu_);
   auto st = states_.Get(tid);

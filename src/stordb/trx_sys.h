@@ -74,6 +74,16 @@ class TrxSys {
   /// check consumes).
   uint64_t AssignSerNo(uint64_t tid);
 
+  /// Replica-side pre-commit: stamps `tid` with a primary-assigned
+  /// serialisation number instead of drawing one, and advances the shared
+  /// counter past `ser`. TIDs and sers come from ONE counter, so replaying
+  /// a primary ser must also reserve the number locally — and because the
+  /// (single) applier draws its TID before forcing the ser, replica row
+  /// headers always satisfy tid <= ser, which is what keeps the cross-view
+  /// high-watermark clamp (AdjustForCrossEngine) from rejecting a visible
+  /// replicated row.
+  void ForceSerNo(uint64_t tid, uint64_t ser);
+
   /// Post-commit: removes the TID from the active set and publishes
   /// kCommitted.
   void MarkCommitted(uint64_t tid);

@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +25,8 @@
 
 #include "core/history.h"
 #include "core/skeena.h"
+#include "repl/applier.h"
+#include "repl/shipper.h"
 #include "support/db_fixtures.h"
 
 namespace skeena {
@@ -410,6 +414,208 @@ SiReport RunCrashScenario(uint64_t seed) {
   return report;
 }
 
+// ------------------------------------------------- replication chaos
+
+/// Primary + live replica with a chaos schedule severing the replication
+/// channel mid-stream: hard kills (KillChannel) and mid-frame TCP cuts
+/// (TestOnlyCutAfterBytes) land between log segments and CSR installs at
+/// random. Replica readers run throughout. The audit is three-fold:
+/// byte-identical scans after catch-up, a CheckRecoveredState-style
+/// final-state audit of the REPLICA's rows against the primary's writer
+/// history, and the merged history through the SI checker in replica mode
+/// with the replica's replayed CSR dump.
+SiReport RunReplicationChaosScenario(uint64_t seed) {
+  constexpr uint64_t kSessionFloor = 1'000'000;
+  constexpr GlobalTxnId kGtidOffset = 1'000'000'000;
+
+  repl::CsrInstallJournal journal;
+  DatabaseOptions popts = test::FastOptions();
+  popts.record_history = true;
+  popts.csr.install_observer = journal.Observer();
+  Database primary(popts);
+  auto p_mem = *primary.CreateTable("m", EngineKind::kMem);
+  auto p_stor = *primary.CreateTable("s", EngineKind::kStor);
+
+  DatabaseOptions ropts = test::FastOptions();
+  ropts.replica = true;
+  ropts.record_history = true;
+  Database replica_db(ropts);
+  auto r_mem = *replica_db.CreateTable("m", EngineKind::kMem);
+  auto r_stor = *replica_db.CreateTable("s", EngineKind::kStor);
+
+  repl::Shipper shipper(&primary, &journal);
+  SiReport report;
+  if (Status s = shipper.Start(); !s.ok()) {
+    ADD_FAILURE() << "shipper start: " << s.ToString();
+    return report;
+  }
+  repl::Replica::Options aopts;
+  aopts.port = shipper.port();
+  repl::Replica replica(&replica_db, aopts);
+  if (Status s = replica.Start(); !s.ok()) {
+    ADD_FAILURE() << "replica start: " << s.ToString();
+    shipper.Stop();
+    return report;
+  }
+
+  std::atomic<bool> readers_stop{false};
+  std::vector<std::thread> workers;
+  // Primary writers: random single-engine and cross-engine commits over a
+  // small key space so the stream carries all record/group shapes.
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937_64 rng(SplitMix64(seed) ^ SplitMix64(500 + t));
+      for (int i = 0; i < 100; ++i) {
+        auto txn = primary.Begin(IsolationLevel::kSnapshot);
+        int nops = 1 + static_cast<int>(rng() % 4);
+        bool dead = false;
+        for (int op = 0; op < nops && !dead; ++op) {
+          const TableHandle& tbl = (rng() & 1) != 0 ? p_stor : p_mem;
+          Key key = MakeKey(rng() % 12);
+          Status s;
+          if (rng() % 10 == 0) {
+            s = txn->Delete(tbl, key);
+            if (s.IsNotFound()) s = Status::OK();
+          } else {
+            s = txn->Put(tbl, key,
+                         "r" + std::to_string(seed) + "." + std::to_string(t) +
+                             "." + std::to_string(i) + "." +
+                             std::to_string(op));
+          }
+          if (!s.ok()) dead = true;
+        }
+        if (dead) {
+          txn->Abort();
+          continue;
+        }
+        (void)txn->Commit();  // CSR aborts are a legal outcome
+      }
+    });
+  }
+  // Replica readers: snapshot reads from both engines through the gate,
+  // recorded for the replica-mode SI check.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::mt19937_64 rng(SplitMix64(seed) ^ SplitMix64(900 + r));
+      std::string v;
+      while (!readers_stop.load(std::memory_order_acquire)) {
+        auto txn = replica_db.Begin(IsolationLevel::kSnapshot);
+        Key key = MakeKey(rng() % 12);
+        Status s1 = txn->Get(r_mem, key, &v);
+        Status s2 = txn->Get(r_stor, key, &v);
+        if ((s1.ok() || s1.IsNotFound()) && (s2.ok() || s2.IsNotFound())) {
+          (void)txn->Commit();
+        } else {
+          txn->Abort();
+        }
+      }
+    });
+  }
+  // Chaos: sever the channel a few times while the stream is hot — hard
+  // kills and mid-frame cuts, at seed-derived instants.
+  std::thread chaos([&] {
+    std::mt19937_64 rng(SplitMix64(seed) ^ 0xc4a05ull);
+    int disruptions = 3 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < disruptions; ++i) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(3 + rng() % 20));
+      if ((rng() & 1) != 0) {
+        replica.KillChannel();
+      } else {
+        shipper.TestOnlyCutAfterBytes(rng() % 2000);
+      }
+    }
+  });
+  for (auto& w : workers) w.join();
+  chaos.join();
+
+  // Quiesced: the replica must reach the primary's exact stream positions
+  // through however many resumed sessions the chaos forced.
+  Lsn mem_lsn = primary.engine(EngineKind::kMem)->CurrentLsn();
+  Lsn stor_lsn = primary.engine(EngineKind::kStor)->CurrentLsn();
+  bool caught_up = replica.WaitCaughtUp(mem_lsn, stor_lsn, journal.size(),
+                                        std::chrono::milliseconds(15'000));
+  readers_stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  if (!caught_up) {
+    ADD_FAILURE() << "replication_chaos seed=" << seed
+                  << ": replica failed to catch up after channel chaos";
+    replica.Stop();
+    shipper.Stop();
+    return report;
+  }
+
+  // Scan both sides; byte-identical is the resume correctness bar.
+  FinalStateRows replica_rows[kNumEngines];
+  for (int side = 0; side < 2; ++side) {
+    Database& db = side == 0 ? primary : replica_db;
+    FinalStateRows rows[kNumEngines];
+    auto reader = db.Begin(IsolationLevel::kSnapshot);
+    for (int e = 0; e < kNumEngines; ++e) {
+      const TableHandle& tbl = side == 0 ? (e == 0 ? p_mem : p_stor)
+                                         : (e == 0 ? r_mem : r_stor);
+      Status s = reader->Scan(tbl, MakeKey(0), 0,
+                              [&](const Key& k, const std::string& v) {
+                                rows[e][{tbl.local_id, k}] = v;
+                                return true;
+                              });
+      if (!s.ok()) ADD_FAILURE() << "final scan: " << s.ToString();
+    }
+    (void)reader->Commit();
+    if (side == 0) {
+      for (int e = 0; e < kNumEngines; ++e) {
+        replica_rows[e] = std::move(rows[e]);  // reused below for primary
+      }
+    } else {
+      for (int e = 0; e < kNumEngines; ++e) {
+        if (rows[e] != replica_rows[e]) {
+          ADD_FAILURE() << "replication_chaos seed=" << seed << ": engine "
+                        << e << " replica state diverged from primary ("
+                        << rows[e].size() << " vs " << replica_rows[e].size()
+                        << " rows)";
+        }
+        replica_rows[e] = std::move(rows[e]);
+      }
+    }
+  }
+
+  // Merge the two folds (replica ids shifted above every primary id).
+  std::vector<TxnHistory> history = primary.recorder()->Fold();
+  for (TxnHistory& t : replica_db.recorder()->Fold()) {
+    t.session += kSessionFloor;
+    t.gtid += kGtidOffset;
+    history.push_back(std::move(t));
+  }
+  std::stable_sort(history.begin(), history.end(),
+                   [](const TxnHistory& a, const TxnHistory& b) {
+                     return a.session != b.session ? a.session < b.session
+                                                   : a.seq < b.seq;
+                   });
+
+  SiCheckOptions check;
+  check.anchor_index = primary.anchor_index();
+  check.have_csr_dump = true;
+  Timestamp floor = 0;
+  for (const auto& m : replica_db.csr().DumpMappings(&floor)) {
+    check.csr_mappings.push_back({m.key, m.vmin, m.vmax});
+  }
+  check.csr_floor = floor;
+  check.replica_session_floor = kSessionFloor;
+  report = CheckSnapshotIsolation(history, check);
+  // Recovered-state-style audit: the replica's final rows must be exactly
+  // producible by the primary's acknowledged writer history.
+  SiReport audit = CheckRecoveredState(history, replica_rows, check);
+  report.violations.insert(report.violations.end(), audit.violations.begin(),
+                           audit.violations.end());
+  if (!report.ok()) {
+    WriteFailureDump("replication_chaos", seed, history, report);
+  }
+  replica.Stop();
+  shipper.Stop();
+  return report;
+}
+
 // ------------------------------------------------------------ quick gate
 
 void ExpectClean(const ScenarioConfig& cfg, uint64_t seed) {
@@ -482,6 +688,14 @@ TEST(FuzzScenarioTest, CrashDuringCommitFixedSeeds) {
   }
 }
 
+TEST(FuzzScenarioTest, ReplicationChaosFixedSeeds) {
+  for (uint64_t s : kQuickSeeds) {
+    SiReport r = RunReplicationChaosScenario(s);
+    EXPECT_TRUE(r.ok()) << "replication_chaos seed=" << s << "\n"
+                        << r.Summary();
+  }
+}
+
 // -------------------------------------------------------- slow stress lane
 
 TEST(FuzzScenarioStress, RandomSeedsAllFamilies) {
@@ -502,6 +716,9 @@ TEST(FuzzScenarioStress, RandomSeedsAllFamilies) {
     ExpectClean(EvictionPressure(), seed);
     SiReport r = RunCrashScenario(seed);
     EXPECT_TRUE(r.ok()) << "crash_during_commit seed=" << seed << "\n"
+                        << r.Summary();
+    r = RunReplicationChaosScenario(seed);
+    EXPECT_TRUE(r.ok()) << "replication_chaos seed=" << seed << "\n"
                         << r.Summary();
     if (::testing::Test::HasFailure()) break;  // keep the failing seed hot
   }
