@@ -62,6 +62,7 @@ ActiveSnapshotRegistry::ActiveSnapshotRegistry(size_t initial_slots)
 
 ActiveSnapshotRegistry::~ActiveSnapshotRegistry() {
   RegistryDomain().UnregisterOwner(this);
+  // relaxed-ok: destructor; no concurrent access by contract.
   for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
 }
 
@@ -73,7 +74,7 @@ size_t ActiveSnapshotRegistry::Acquire() {
     return slot;
   }
   {
-    std::lock_guard<std::mutex> lock(spill_mu_);
+    MutexLock lock(spill_mu_);
     if (!spilled_.empty()) {
       size_t slot = spilled_.back();
       spilled_.pop_back();
@@ -102,7 +103,7 @@ void ActiveSnapshotRegistry::Release(size_t slot) {
 }
 
 void ActiveSnapshotRegistry::SpillSlots(std::vector<size_t>&& slots) {
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   if (spilled_.empty()) {
     spilled_ = std::move(slots);
   } else {

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace skeena {
@@ -64,7 +64,9 @@ class ActiveSnapshotRegistry {
   /// Claims a fresh slot, growing the backing store if needed. Aborts the
   /// process (in all build types) when the absolute capacity is exhausted.
   size_t ClaimSlot() {
-    std::lock_guard<std::mutex> lock(grow_mu_);
+    MutexLock lock(grow_mu_);
+    // relaxed-ok: next_slot_ is only written under grow_mu_ (held here);
+    // the release store below is the publication edge scanners pair with.
     size_t slot = next_slot_.load(std::memory_order_relaxed);
     if (slot >= Capacity()) {
       std::fprintf(stderr,
@@ -74,6 +76,7 @@ class ActiveSnapshotRegistry {
       std::abort();
     }
     size_t chunk_idx = slot / chunk_size_;
+    // relaxed-ok: chunk pointers are only installed under grow_mu_.
     if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
       chunks_[chunk_idx].store(new Padded<std::atomic<Timestamp>>[chunk_size_],
                                std::memory_order_release);
@@ -178,11 +181,11 @@ class ActiveSnapshotRegistry {
   const uint64_t gen_;
   std::atomic<Padded<std::atomic<Timestamp>>*> chunks_[kMaxChunks] = {};
   std::atomic<size_t> next_slot_{0};
-  std::mutex grow_mu_;
+  Mutex grow_mu_;
 
   // Slots handed back by exited threads; consulted before claiming fresh.
-  std::mutex spill_mu_;
-  std::vector<size_t> spilled_;
+  Mutex spill_mu_;
+  std::vector<size_t> spilled_ SKEENA_GUARDED_BY(spill_mu_);
 };
 
 }  // namespace skeena

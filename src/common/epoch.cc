@@ -68,8 +68,12 @@ EpochManager::~EpochManager() {
   EpochDomain().UnregisterOwner(this);
   // Contract: no reader is pinned anymore, so everything in limbo is
   // unreachable and can be freed immediately.
+  // relaxed-ok: destructor — no concurrent access by contract (and TSA:
+  // the limbo_ access needs no lock for the same reason).
   for (const LimboEntry& e : limbo_) e.deleter(e.ptr);
+  // relaxed-ok: destructor, single-threaded by the same contract.
   freed_count_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+  // relaxed-ok: destructor, single-threaded by the same contract.
   for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
 }
 
@@ -79,12 +83,14 @@ std::atomic<uint64_t>& EpochManager::SlotState(size_t slot) const {
 }
 
 size_t EpochManager::AcquireSlot() {
-  std::lock_guard<std::mutex> lock(slots_mu_);
+  MutexLock lock(slots_mu_);
   if (!free_slots_.empty()) {
     size_t slot = free_slots_.back();
     free_slots_.pop_back();
     return slot;
   }
+  // relaxed-ok: slot_limit_ is only written under slots_mu_ (held here);
+  // the release store below is the publication edge scanners pair with.
   size_t slot = slot_limit_.load(std::memory_order_relaxed);
   if (slot >= kSlotsPerChunk * kMaxChunks) {
     std::fprintf(stderr,
@@ -92,6 +98,7 @@ size_t EpochManager::AcquireSlot() {
     std::abort();
   }
   size_t chunk_idx = slot / kSlotsPerChunk;
+  // relaxed-ok: chunk pointers are only installed under slots_mu_.
   if (chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
     chunks_[chunk_idx].store(new Slot[kSlotsPerChunk],
                              std::memory_order_release);
@@ -104,7 +111,7 @@ size_t EpochManager::AcquireSlot() {
 
 void EpochManager::ReleaseSlot(size_t slot) {
   SlotState(slot).store(0, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(slots_mu_);
+  MutexLock lock(slots_mu_);
   free_slots_.push_back(slot);
 }
 
@@ -142,16 +149,23 @@ void EpochManager::Exit() {
 void EpochManager::RetireRaw(void* p, void (*deleter)(void*)) {
   uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(limbo_mu_);
     limbo_.push_back({e, p, deleter});
   }
   TryAdvance();
 }
 
 size_t EpochManager::TryAdvance() {
-  std::unique_lock<std::mutex> adv(advance_mu_, std::try_to_lock);
-  if (!adv.owns_lock()) return 0;
+  // Explicit TryLock/Unlock (not a scoped guard): TSA tracks the branch on
+  // a TRY_ACQUIRE(true) return value, which a scoped owns_lock() check
+  // would hide from it. AdvanceLocked cannot throw.
+  if (!advance_mu_.TryLock()) return 0;
+  size_t freed = AdvanceLocked();
+  advance_mu_.Unlock();
+  return freed;
+}
 
+size_t EpochManager::AdvanceLocked() {
   uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
   bool all_observed = true;
   size_t limit = slot_limit_.load(std::memory_order_acquire);
@@ -172,7 +186,7 @@ size_t EpochManager::TryAdvance() {
   // advance required all pinned readers to be current).
   std::vector<LimboEntry> ripe;
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(limbo_mu_);
     size_t kept = 0;
     for (LimboEntry& e : limbo_) {
       if (e.epoch + 2 <= g) {
@@ -184,12 +198,13 @@ size_t EpochManager::TryAdvance() {
     limbo_.resize(kept);
   }
   for (const LimboEntry& e : ripe) e.deleter(e.ptr);
+  // relaxed-ok: monotone diagnostic counter.
   freed_count_.fetch_add(ripe.size(), std::memory_order_relaxed);
   return ripe.size();
 }
 
 size_t EpochManager::RetiredCount() const {
-  std::lock_guard<std::mutex> lock(limbo_mu_);
+  MutexLock lock(limbo_mu_);
   return limbo_.size();
 }
 

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/spin_latch.h"
+#include "common/thread_annotations.h"
 
 namespace skeena {
 
@@ -97,6 +97,7 @@ class EpochManager {
   size_t RetiredCount() const;
   /// Objects freed over the manager's lifetime (test/diagnostic hook).
   uint64_t FreedCount() const {
+    // relaxed-ok: monotone diagnostic counter; no ordering consumers.
     return freed_count_.load(std::memory_order_relaxed);
   }
 
@@ -115,6 +116,9 @@ class EpochManager {
     void (*deleter)(void*);
   };
 
+  // Body of TryAdvance once the advance ticket is won.
+  size_t AdvanceLocked() SKEENA_REQUIRES(advance_mu_);
+
   // Thread-facing registration (called via thread-local state).
   size_t AcquireSlot();
   void ReleaseSlot(size_t slot);
@@ -127,13 +131,13 @@ class EpochManager {
   // Slot storage grows in chunks so the pinned-slot scan stays lock-free.
   std::atomic<Slot*> chunks_[kMaxChunks] = {};
   std::atomic<size_t> slot_limit_{0};  // slots with a published chunk
-  std::mutex slots_mu_;                // guards claim/release + growth
-  std::vector<size_t> free_slots_;
+  Mutex slots_mu_;                     // guards claim/release + growth
+  std::vector<size_t> free_slots_ SKEENA_GUARDED_BY(slots_mu_);
 
-  std::mutex advance_mu_;  // one advancing thread at a time
+  Mutex advance_mu_;  // one advancing thread at a time
 
-  mutable std::mutex limbo_mu_;
-  std::vector<LimboEntry> limbo_;
+  mutable Mutex limbo_mu_;
+  std::vector<LimboEntry> limbo_ SKEENA_GUARDED_BY(limbo_mu_);
   std::atomic<uint64_t> freed_count_{0};
 };
 

@@ -1,10 +1,10 @@
 #include "common/parking_lot.h"
 
-#include <condition_variable>
+#include <chrono>
 #include <cstdlib>
-#include <mutex>
 
 #include "common/sharded_counter.h"
+#include "common/thread_annotations.h"
 
 #if defined(__linux__)
 #include <linux/futex.h>
@@ -34,8 +34,8 @@ LotCounters& Counters() {
 /// waker's notify, which closes the lost-wakeup window futex closes in the
 /// kernel.
 struct Bucket {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 };
 
 constexpr size_t kBuckets = 64;
@@ -71,9 +71,10 @@ static_assert(sizeof(std::atomic<uint32_t>) == sizeof(uint32_t) &&
 // Returns true iff the thread blocked (EAGAIN = the kernel's atomic check
 // saw the word already moved; EINTR/0 = it slept). Callers recheck either
 // way.
-bool FutexWait(const std::atomic<uint32_t>* word, uint32_t expected) {
+bool FutexWait(const std::atomic<uint32_t>* word, uint32_t expected,
+               const struct timespec* timeout = nullptr) {
   long rc = syscall(SYS_futex, reinterpret_cast<const uint32_t*>(word),
-                    FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+                    FUTEX_WAIT_PRIVATE, expected, timeout, nullptr, 0);
   return !(rc == -1 && errno == EAGAIN);
 }
 
@@ -88,14 +89,14 @@ void CondvarWake(const std::atomic<uint32_t>& word) {
   // Taking (and releasing) the bucket mutex orders this wake after any
   // in-flight Park's recheck: a parker that saw the old word value is
   // already inside cv.wait and will receive the notify.
-  { std::lock_guard<std::mutex> guard(b.mu); }
+  { MutexLock guard(b.mu); }
   // Always notify_all, even for WakeOne: a bucket is shared by every word
   // that hashes into it, so a single notify could land on a waiter of a
   // *different* word, which re-parks and silently consumes the wake — a
   // lost wakeup for the intended thread. Waking the whole bucket turns
   // that into tolerated spurious wakes; WakeOne stays a genuine
   // single-thread wake only on the futex backend.
-  b.cv.notify_all();
+  b.cv.NotifyAll();
 }
 
 }  // namespace
@@ -117,7 +118,7 @@ bool ParkingLot::Park(const std::atomic<uint32_t>& word, uint32_t expected) {
   }
 #endif
   Bucket& b = BucketFor(&word);
-  std::unique_lock<std::mutex> guard(b.mu);
+  MutexLock guard(b.mu);
   if (word.load(std::memory_order_acquire) != expected) {
     Counters().immediate_parks.Add(1);
     return false;
@@ -125,7 +126,38 @@ bool ParkingLot::Park(const std::atomic<uint32_t>& word, uint32_t expected) {
   Counters().parks.Add(1);
   // One shot, no predicate: collisions and stray notifies surface as
   // spurious returns, which the contract pushes to the caller's loop.
-  b.cv.wait(guard);
+  b.cv.Wait(b.mu);
+  return true;
+}
+
+bool ParkingLot::ParkFor(const std::atomic<uint32_t>& word, uint32_t expected,
+                         uint64_t timeout_ns) {
+  if (word.load(std::memory_order_acquire) != expected) {
+    Counters().immediate_parks.Add(1);
+    return false;
+  }
+#if defined(__linux__)
+  if (backend() == Backend::kFutex) {
+    struct timespec ts;  // FUTEX_WAIT takes a *relative* timeout
+    ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ull);
+    ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ull);
+    bool blocked = FutexWait(&word, expected, &ts);
+    if (blocked) {
+      Counters().parks.Add(1);
+    } else {
+      Counters().immediate_parks.Add(1);
+    }
+    return blocked;
+  }
+#endif
+  Bucket& b = BucketFor(&word);
+  MutexLock guard(b.mu);
+  if (word.load(std::memory_order_acquire) != expected) {
+    Counters().immediate_parks.Add(1);
+    return false;
+  }
+  Counters().parks.Add(1);
+  b.cv.WaitFor(b.mu, std::chrono::nanoseconds(timeout_ns));
   return true;
 }
 

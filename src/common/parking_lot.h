@@ -46,6 +46,13 @@ class ParkingLot {
   /// had already moved (pre-check or the futex's atomic EAGAIN check).
   static bool Park(const std::atomic<uint32_t>& word, uint32_t expected);
 
+  /// Park with a relative timeout. Same contract as Park plus: returns
+  /// after ~`timeout_ns` even if nobody woke the word (indistinguishable
+  /// from a spurious wake — callers recheck their predicate either way).
+  /// Return value matches Park: true iff the thread actually blocked.
+  static bool ParkFor(const std::atomic<uint32_t>& word, uint32_t expected,
+                      uint64_t timeout_ns);
+
   /// Wakes every thread parked on `word`.
   static void WakeAll(const std::atomic<uint32_t>& word);
 

@@ -3,14 +3,15 @@
 namespace skeena {
 
 uint64_t ThreadSlotDomain::RegisterOwner(const void* owner) {
+  // relaxed-ok: gen only needs uniqueness; the mutex below publishes it.
   uint64_t gen = next_gen_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   live_[owner] = gen;
   return gen;
 }
 
 void ThreadSlotDomain::UnregisterOwner(const void* owner) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   live_.erase(owner);
 }
 

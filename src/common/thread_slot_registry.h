@@ -3,9 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace skeena {
 
@@ -65,17 +66,18 @@ class ThreadSlotDomain {
   /// (e.g. hand slots back) but must not re-enter the domain.
   template <typename Fn>
   bool IfLive(const void* owner, uint64_t gen, Fn&& fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!IsLiveLocked(owner, gen)) return false;
     fn();
     return true;
   }
 
  private:
-  bool IsLiveLocked(const void* owner, uint64_t gen) const;
+  bool IsLiveLocked(const void* owner, uint64_t gen) const
+      SKEENA_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<const void*, uint64_t> live_;
+  mutable Mutex mu_;
+  std::unordered_map<const void*, uint64_t> live_ SKEENA_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_gen_{1};
 };
 

@@ -107,6 +107,8 @@ void MemEngineAdapter::WaitDurable(Lsn lsn) {
   if (engine_.log() != nullptr) engine_.log()->WaitDurable(lsn);
 }
 
+LogManager* MemEngineAdapter::Log() { return engine_.log(); }
+
 Status MemEngineAdapter::Recover(const std::set<GlobalTxnId>& excluded) {
   return engine_.Recover(excluded);
 }
@@ -197,6 +199,8 @@ Status StorEngineAdapter::FlushLog() {
 void StorEngineAdapter::WaitDurable(Lsn lsn) {
   if (engine_.log() != nullptr) engine_.log()->WaitDurable(lsn);
 }
+
+LogManager* StorEngineAdapter::Log() { return engine_.log(); }
 
 Status StorEngineAdapter::Recover(const std::set<GlobalTxnId>& excluded) {
   return engine_.Recover(excluded);

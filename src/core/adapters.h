@@ -52,6 +52,7 @@ class MemEngineAdapter : public EngineIface {
   Lsn DurableLsn() const override;
   Status FlushLog() override;
   void WaitDurable(Lsn lsn) override;
+  LogManager* Log() override;
 
   Status Recover(const std::set<GlobalTxnId>& excluded) override;
   const StorageDevice* LogDevice() const override;
@@ -102,6 +103,7 @@ class StorEngineAdapter : public EngineIface {
   Lsn DurableLsn() const override;
   Status FlushLog() override;
   void WaitDurable(Lsn lsn) override;
+  LogManager* Log() override;
 
   Status Recover(const std::set<GlobalTxnId>& excluded) override;
   const StorageDevice* LogDevice() const override;

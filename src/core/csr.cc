@@ -221,7 +221,7 @@ Result<Timestamp> SnapshotRegistry::SelectSnapshot(
 
 Result<Timestamp> SnapshotRegistry::SelectSlow(
     Timestamp anchor_snap, const std::function<Timestamp()>& latest_other) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   PartitionList* list = list_.load(std::memory_order_relaxed);
   if (list->parts.empty()) {
     Timestamp selected = latest_other();
@@ -298,7 +298,7 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
   // of lists/partitions happens under the same mutex, so nothing reachable
   // from the published list can be reclaimed while we hold it. Pinning
   // here would stall epoch advancement for the lock wait + check + install.
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   PartitionList* list = list_.load(std::memory_order_relaxed);
   if (list->parts.empty()) {
     // First mapping ever: bounds are trivially open.
@@ -374,13 +374,13 @@ Status SnapshotRegistry::CommitCheck(Timestamp anchor_cts,
 void SnapshotRegistry::Recycle() {
   if (!min_anchor_provider_) return;
   Timestamp min_snap = min_anchor_provider_();
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   RecycleLocked(min_snap);
 }
 
 Status SnapshotRegistry::ReplayInstall(Timestamp key, Timestamp value) {
   TickAccess();
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(write_mu_);
   PartitionList* list = list_.load(std::memory_order_relaxed);
   if (list->parts.empty()) {
     AppendPartitionLocked(key, value);
@@ -462,9 +462,10 @@ void SnapshotRegistry::TickAccess() {
   Timestamp min_snap = min_anchor_provider_();
   // Opportunistic: never block the access that happened to cross the
   // period boundary — skip if a writer or another recycler is active.
-  std::unique_lock<std::mutex> lock(write_mu_, std::try_to_lock);
-  if (!lock.owns_lock()) return;
+  // Explicit TryLock so TSA tracks the branch (see thread_annotations.h).
+  if (!write_mu_.TryLock()) return;
   RecycleLocked(min_snap);
+  write_mu_.Unlock();
 }
 
 size_t SnapshotRegistry::PartitionCount() const {

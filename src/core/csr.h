@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/thread_annotations.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -174,6 +174,7 @@ class SnapshotRegistry {
   /// the skew the gate prevents. Always compiled — CI test lanes build
   /// with NDEBUG — at the cost of one relaxed load per commit check.
   void TestOnlyWeakenCommitGate(bool weaken) {
+    // relaxed-ok: test-only flag; no ordering with registry state needed.
     weaken_gate_.store(weaken, std::memory_order_relaxed);
   }
 
@@ -244,21 +245,22 @@ class SnapshotRegistry {
   // callers (SelectSlow, CommitCheck) have just searched the same list
   // under the same mutex, so installs pay no repeated O(log n) searches.
   MapResult InstallLocked(Timestamp key, Timestamp value, size_t idx,
-                          size_t lb);
+                          size_t lb) SKEENA_REQUIRES(write_mu_);
 
   // Appends a fresh partition seeded with (key, value). Caller holds
   // write_mu_.
-  void AppendPartitionLocked(Timestamp key, Timestamp value);
+  void AppendPartitionLocked(Timestamp key, Timestamp value)
+      SKEENA_REQUIRES(write_mu_);
 
   // Swaps in `next` and retires the previous list. Caller holds write_mu_.
-  void PublishLocked(PartitionList* next);
+  void PublishLocked(PartitionList* next) SKEENA_REQUIRES(write_mu_);
 
   // Slow path of SelectSnapshot: a new mapping (or first partition) is
   // required.
   Result<Timestamp> SelectSlow(Timestamp anchor_snap,
                                const std::function<Timestamp()>& latest_other);
 
-  void RecycleLocked(Timestamp min_snap);
+  void RecycleLocked(Timestamp min_snap) SKEENA_REQUIRES(write_mu_);
   void TickAccess();
 
   Options options_;
@@ -268,8 +270,10 @@ class SnapshotRegistry {
   EpochManager* epoch_;
 
   // Serializes all mutations (mapping installs, partition creation,
-  // recycling). Readers never take it.
-  std::mutex write_mu_;
+  // recycling). Readers never take it. list_ itself is NOT guarded (the
+  // read path is lock-free under epoch protection); only the
+  // exchange-and-retire in PublishLocked requires it.
+  Mutex write_mu_;
   std::atomic<PartitionList*> list_;
 
   std::atomic<bool> weaken_gate_{false};

@@ -167,7 +167,7 @@ Database::~Database() = default;
 Result<TableHandle> Database::CreateTable(const std::string& name,
                                           EngineKind home,
                                           size_t max_value_size) {
-  std::lock_guard<std::mutex> guard(catalog_mu_);
+  MutexLock guard(catalog_mu_);
   if (catalog_.count(name) != 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
@@ -182,7 +182,7 @@ Result<TableHandle> Database::CreateTable(const std::string& name,
 }
 
 Result<TableHandle> Database::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(catalog_mu_);
+  MutexLock guard(catalog_mu_);
   auto it = catalog_.find(name);
   if (it == catalog_.end()) {
     return Status::NotFound("no such table: " + name);
@@ -248,6 +248,7 @@ Status Database::Recover() {
         cross_seen.insert(rec.gtid);
         end_in[e].insert(rec.gtid);
       }
+      // relaxed-ok: single-threaded recovery; no concurrent Begin yet.
       next_gtid_.store(
           std::max(next_gtid_.load(std::memory_order_relaxed), rec.gtid + 1),
           std::memory_order_relaxed);

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -12,6 +11,7 @@
 #include "common/active_registry.h"
 #include "common/epoch.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/adapters.h"
 #include "core/commit_pipeline.h"
@@ -146,6 +146,8 @@ class Database {
   HistoryRecorder* recorder() { return recorder_.get(); }
 
   GlobalTxnId NextGtid() {
+    // relaxed-ok: gtids only need uniqueness; commit publication orders
+    // everything a gtid ever labels.
     return next_gtid_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -180,6 +182,7 @@ class Database {
   /// this returns to zero after a disconnect or shutdown: an orphaned
   /// transaction must be aborted, never leaked.
   int64_t active_transactions() const {
+    // relaxed-ok: diagnostic gauge; asserted only at quiescent points.
     return active_txns_.load(std::memory_order_relaxed);
   }
 
@@ -223,8 +226,9 @@ class Database {
   std::atomic<GlobalTxnId> next_gtid_{1};
   std::atomic<int64_t> active_txns_{0};
 
-  mutable std::mutex catalog_mu_;
-  std::unordered_map<std::string, TableHandle> catalog_;
+  mutable Mutex catalog_mu_;
+  std::unordered_map<std::string, TableHandle> catalog_
+      SKEENA_GUARDED_BY(catalog_mu_);
 };
 
 }  // namespace skeena

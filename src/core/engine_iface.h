@@ -12,6 +12,7 @@
 
 namespace skeena {
 
+class LogManager;
 class StorageDevice;
 
 /// Opaque engine-level sub-transaction handle (paper Section 1.1: a
@@ -83,6 +84,11 @@ class EngineIface {
   virtual Status FlushLog() = 0;
   /// Blocks until `lsn` is durable (used by the commit daemon).
   virtual void WaitDurable(Lsn lsn) = 0;
+
+  /// This engine's log manager, for observer wiring (the replication
+  /// shipper hooks durable-LSN advances); null when the engine runs
+  /// without a log.
+  virtual LogManager* Log() = 0;
 
   // ----------------------------------------------------------- recovery
   virtual Status Recover(const std::set<GlobalTxnId>& excluded_gtids) = 0;

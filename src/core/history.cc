@@ -10,6 +10,7 @@ namespace skeena {
 
 size_t HistoryRecorder::ThreadShardIndex() {
   static std::atomic<size_t> next{0};
+  // relaxed-ok: shard choice only needs distinctness, not ordering.
   thread_local size_t idx =
       next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
   return idx;
@@ -28,6 +29,7 @@ std::unique_ptr<TxnHistory> HistoryRecorder::StartTxn(GlobalTxnId gtid,
   thread_local uint64_t session = 0;
   thread_local uint64_t seq = 0;
   if (session == 0) {
+    // relaxed-ok: session ids only need uniqueness.
     session = next_session.fetch_add(1, std::memory_order_relaxed);
   }
   auto txn = std::make_unique<TxnHistory>();

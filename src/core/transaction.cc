@@ -7,6 +7,7 @@ Transaction::Transaction(Database* db, IsolationLevel iso)
       iso_(iso),
       gtid_(db->NextGtid()),
       skeena_on_(db->skeena_enabled()) {
+  // relaxed-ok: diagnostic gauge (see Database::active_transactions).
   db_->active_txns_.fetch_add(1, std::memory_order_relaxed);
   if (HistoryRecorder* rec = db_->recorder()) {
     hist_ = rec->StartTxn(gtid_, iso_, skeena_on_);
@@ -290,6 +291,7 @@ Status Transaction::Commit() {
 
   if (!used_[0] && !used_[1]) {
     state_ = State::kCommitted;
+    // relaxed-ok: diagnostic gauge (see Database::active_transactions).
     db_->active_txns_.fetch_sub(1, std::memory_order_relaxed);
     ReleaseAnchorSlot();
     if (hist_) {
@@ -370,6 +372,7 @@ Status Transaction::Commit() {
   }
 
   state_ = State::kCommitted;
+  // relaxed-ok: diagnostic gauge (see Database::active_transactions).
   db_->active_txns_.fetch_sub(1, std::memory_order_relaxed);
   ReleaseAnchorSlot();
 
@@ -402,6 +405,7 @@ void Transaction::Abort() {
   }
   ReleaseAnchorSlot();
   state_ = State::kAborted;
+  // relaxed-ok: diagnostic gauge (see Database::active_transactions).
   db_->active_txns_.fetch_sub(1, std::memory_order_relaxed);
   if (hist_) {
     hist_->outcome = TxnHistory::Outcome::kAborted;

@@ -38,6 +38,8 @@ struct BTree::NodeBase {
 
   // Validates that the node did not change since `v` was observed.
   void CheckOrRestart(uint64_t v, bool* restart) const {
+    // relaxed-ok: the fence above upgrades the re-check; the load itself
+    // needs no edge (standard optimistic lock coupling idiom).
     std::atomic_thread_fence(std::memory_order_acquire);
     if (version.load(std::memory_order_relaxed) != v) *restart = true;
   }
@@ -178,6 +180,8 @@ struct BTree::LeafNode : BTree::NodeBase {
     std::memcpy(right->keys, &keys[mid], sizeof(Key) * right->count);
     std::memcpy(right->values, &values[mid], sizeof(uint64_t) * right->count);
     count = static_cast<uint16_t>(mid);
+    // relaxed-ok: both nodes are write-locked during the split; the
+    // version bump on unlock is the publication edge.
     right->next.store(next.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     next.store(right, std::memory_order_release);
@@ -330,6 +334,7 @@ bool BTree::UpsertImpl(const Key& key, uint64_t value, bool allow_update,
     }
     bool inserted = leaf->InsertOrUpdate(key, value, allow_update, existed);
     node->WriteUnlock();
+    // relaxed-ok: monotone size statistic; no ordering consumers.
     if (inserted) size_.fetch_add(1, std::memory_order_relaxed);
     return inserted;
   }

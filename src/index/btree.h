@@ -59,6 +59,7 @@ class BTree {
   size_t ScanFrom(const Key& lower, const ScanCallback& cb) const;
 
   /// Number of distinct keys (exact; maintained on insert).
+  // relaxed-ok: statistic read; no ordering consumers.
   size_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// Height of the tree (root is height 1). For tests/stats.

@@ -2,10 +2,11 @@
 #define SKEENA_INDEX_CONCURRENT_HASH_MAP_H_
 
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace skeena {
 
@@ -20,20 +21,20 @@ class ConcurrentHashMap {
   /// Inserts key -> value; returns false if the key already existed.
   bool Insert(const K& key, const V& value) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> guard(s.mu);
+    MutexLock guard(s.mu);
     return s.map.emplace(key, value).second;
   }
 
   /// Inserts or overwrites.
   void Put(const K& key, const V& value) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> guard(s.mu);
+    MutexLock guard(s.mu);
     s.map[key] = value;
   }
 
   std::optional<V> Get(const K& key) const {
     const Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> guard(s.mu);
+    MutexLock guard(s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) return std::nullopt;
     return it->second;
@@ -41,13 +42,13 @@ class ConcurrentHashMap {
 
   bool Contains(const K& key) const {
     const Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> guard(s.mu);
+    MutexLock guard(s.mu);
     return s.map.count(key) != 0;
   }
 
   bool Erase(const K& key) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> guard(s.mu);
+    MutexLock guard(s.mu);
     return s.map.erase(key) != 0;
   }
 
@@ -56,7 +57,7 @@ class ConcurrentHashMap {
   template <typename Fn>
   void WithValue(const K& key, Fn&& fn) {
     Shard& s = ShardFor(key);
-    std::lock_guard<std::mutex> guard(s.mu);
+    MutexLock guard(s.mu);
     fn(s.map[key]);
   }
 
@@ -65,7 +66,7 @@ class ConcurrentHashMap {
   size_t EraseIf(Pred&& pred) {
     size_t removed = 0;
     for (Shard& s : shards_) {
-      std::lock_guard<std::mutex> guard(s.mu);
+      MutexLock guard(s.mu);
       for (auto it = s.map.begin(); it != s.map.end();) {
         if (pred(it->first, it->second)) {
           it = s.map.erase(it);
@@ -81,7 +82,7 @@ class ConcurrentHashMap {
   size_t Size() const {
     size_t n = 0;
     for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> guard(s.mu);
+      MutexLock guard(s.mu);
       n += s.map.size();
     }
     return n;
@@ -89,8 +90,8 @@ class ConcurrentHashMap {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<K, V, Hash> map;
+    mutable Mutex mu;
+    std::unordered_map<K, V, Hash> map SKEENA_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const K& key) {

@@ -75,8 +75,8 @@ LogManager::LogManager(std::unique_ptr<StorageDevice> device, Options options)
 LogManager::~LogManager() {
   stop_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> guard(flusher_mu_);
-    flusher_cv_.notify_all();
+    MutexLock guard(flusher_mu_);
+    flusher_cv_.NotifyAll();
   }
   if (flusher_.joinable()) flusher_.join();
   // Final drain so nothing staged is lost on clean shutdown. A device that
@@ -177,15 +177,20 @@ Lsn LogManager::Append(std::span<const uint8_t> record) {
     if (staged_before == 0 ||
         (staged_before < options_.flush_watermark &&
          staged_after >= options_.flush_watermark)) {
-      std::lock_guard<std::mutex> guard(flusher_mu_);
-      flusher_cv_.notify_one();
+      MutexLock guard(flusher_mu_);
+      flusher_cv_.NotifyOne();
     }
   }
   return end;
 }
 
+void LogManager::SetDurableObserver(std::function<void(Lsn)> observer) {
+  MutexLock guard(flush_mu_);
+  durable_observer_ = std::move(observer);
+}
+
 Status LogManager::FlushPass() {
-  std::lock_guard<std::mutex> guard(flush_mu_);
+  MutexLock guard(flush_mu_);
   const Lsn from = flushed_.load(std::memory_order_relaxed);
   staged_at_flush_total_.fetch_add(
       reserved_.load(std::memory_order_acquire) - from,
@@ -280,6 +285,8 @@ Status LogManager::FlushPass() {
     if (durable_waiters_.load(std::memory_order_seq_cst) > 0) {
       ParkingLot::WakeAll(durable_seq_);
     }
+
+    if (durable_observer_) durable_observer_(shipped);
   }
   return Status::OK();
 }
@@ -322,9 +329,9 @@ void LogManager::FlusherLoop() {
     // bounds shutdown latency and collapses the adaptive window when the
     // log goes quiet.
     {
-      std::unique_lock<std::mutex> lock(flusher_mu_);
+      MutexLock lock(flusher_mu_);
       const bool woke =
-          flusher_cv_.wait_for(lock, std::chrono::milliseconds(5), [&] {
+          flusher_cv_.WaitFor(flusher_mu_, std::chrono::milliseconds(5), [&] {
             return stop_.load(std::memory_order_acquire) ||
                    (options_.auto_flush && HasStaged());
           });
@@ -342,8 +349,8 @@ void LogManager::FlusherLoop() {
     // Batch phase: let the group-commit window fill, leaving early if the
     // watermark trips.
     {
-      std::unique_lock<std::mutex> lock(flusher_mu_);
-      flusher_cv_.wait_for(lock, std::chrono::microseconds(window), [&] {
+      MutexLock lock(flusher_mu_);
+      flusher_cv_.WaitFor(flusher_mu_, std::chrono::microseconds(window), [&] {
         return stop_.load(std::memory_order_acquire) ||
                StagedBytes() >= options_.flush_watermark;
       });

@@ -2,16 +2,16 @@
 #define SKEENA_LOG_LOG_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parking_lot.h"
+#include "common/thread_annotations.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -146,8 +146,17 @@ class LogManager {
 
   const StorageDevice* device() const { return device_.get(); }
 
+  /// Replication hook: invoked once per flush batch that advanced
+  /// durable_lsn_, with the new durable LSN, while flush_mu_ is held — so
+  /// calls arrive in advance order. Keep it cheap and non-blocking (the
+  /// shipper's implementation bumps an eventcount word and issues at most
+  /// one wake). Set during wiring, before concurrent appends; replace with
+  /// nullptr only once flushes are quiesced.
+  void SetDurableObserver(std::function<void(Lsn)> observer);
+
   /// Number of flush batches issued (group-commit effectiveness metric).
   uint64_t flush_batches() const {
+    // relaxed-ok: monotone diagnostic counter.
     return flushes_.load(std::memory_order_relaxed);
   }
 
@@ -207,12 +216,13 @@ class LogManager {
   std::atomic<uint32_t> durable_seq_{0};
   std::atomic<uint32_t> durable_waiters_{0};
 
-  std::mutex flush_mu_;  // serializes flush batches
+  Mutex flush_mu_;  // serializes flush batches
+  std::function<void(Lsn)> durable_observer_ SKEENA_GUARDED_BY(flush_mu_);
 
   // Flusher sleep/wake. Appenders take flusher_mu_ only on the
   // empty->non-empty and watermark-crossing transitions (once per batch).
-  std::mutex flusher_mu_;
-  std::condition_variable flusher_cv_;
+  Mutex flusher_mu_;
+  CondVar flusher_cv_;
   std::atomic<bool> stop_{false};
   std::thread flusher_;
 
@@ -228,7 +238,7 @@ class LogManager {
   std::atomic<uint64_t> window_shrinks_{0};
   std::atomic<uint64_t> flush_gap_ns_total_{0};
   std::atomic<uint64_t> staged_at_flush_total_{0};
-  uint64_t last_flush_ns_ = 0;  // flush_mu_
+  uint64_t last_flush_ns_ SKEENA_GUARDED_BY(flush_mu_) = 0;
 };
 
 /// Sequentially iterates the framed records of a log device. Used by

@@ -104,7 +104,7 @@ Result<std::unique_ptr<SegmentedLogDevice>> SegmentedLogDevice::Open(
   }
 
   {
-    std::lock_guard<std::mutex> guard(device->mu_);
+    MutexLock guard(device->mu_);
     // Opening re-preallocates each segment to its full size, so a crash
     // mid-rotation (segment file created but not fully sized) heals here.
     SKEENA_RETURN_NOT_OK(
@@ -348,7 +348,7 @@ Status SegmentedLogDevice::WritePiecesLocked(uint64_t offset,
 Status SegmentedLogDevice::Append(std::span<const uint8_t> data,
                                   uint64_t* offset) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     *offset = logical_size_;
     SKEENA_RETURN_NOT_OK(WritePiecesLocked(logical_size_, data));
   }
@@ -360,7 +360,7 @@ Status SegmentedLogDevice::WriteAt(uint64_t offset,
                                    std::span<const uint8_t> data) {
   if (data.empty()) return Status::OK();
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     SKEENA_RETURN_NOT_OK(WritePiecesLocked(offset, data));
   }
   SpinWaitNs(options_.latency.write_ns);
@@ -370,7 +370,7 @@ Status SegmentedLogDevice::WriteAt(uint64_t offset,
 Status SegmentedLogDevice::ReadAt(uint64_t offset,
                                   std::span<uint8_t> out) const {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     uint64_t at = offset;
     uint8_t* dst = out.data();
     const uint64_t end = offset + out.size();
@@ -398,7 +398,7 @@ Status SegmentedLogDevice::ReadAt(uint64_t offset,
 
 Status SegmentedLogDevice::Sync() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (uring_ != nullptr) {
       bool queued_all = true;
       for (Segment& seg : segments_) {
@@ -424,7 +424,7 @@ Status SegmentedLogDevice::Sync() {
 }
 
 Status SegmentedLogDevice::Truncate(uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   const size_t keep =
       std::max<size_t>(1, static_cast<size_t>((size + segment_bytes_ - 1) /
                                               segment_bytes_));
@@ -459,22 +459,22 @@ Status SegmentedLogDevice::Truncate(uint64_t size) {
 }
 
 uint64_t SegmentedLogDevice::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return logical_size_;
 }
 
 uint64_t SegmentedLogDevice::segment_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return segments_.size();
 }
 
 uint64_t SegmentedLogDevice::bytes_read() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return bytes_read_;
 }
 
 uint64_t SegmentedLogDevice::bytes_written() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return bytes_written_;
 }
 

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "log/storage_device.h"
 #include "log/uring_queue.h"
 
@@ -88,31 +88,32 @@ class SegmentedLogDevice : public StorageDevice {
 
   SegmentedLogDevice(std::string dir, Options options);
 
-  Status EnsureSegmentsLocked(size_t count);
-  Status OpenSegmentLocked(size_t index, bool create);
-  Status WritePiecesLocked(uint64_t offset, std::span<const uint8_t> data);
+  Status EnsureSegmentsLocked(size_t count) SKEENA_REQUIRES(mu_);
+  Status OpenSegmentLocked(size_t index, bool create) SKEENA_REQUIRES(mu_);
+  Status WritePiecesLocked(uint64_t offset, std::span<const uint8_t> data)
+      SKEENA_REQUIRES(mu_);
   Status PwritePieceLocked(Segment& seg, uint64_t file_off,
-                           std::span<const uint8_t> data);
+                           std::span<const uint8_t> data) SKEENA_REQUIRES(mu_);
   Status DirectWriteLocked(Segment& seg, uint64_t file_off,
-                           std::span<const uint8_t> data);
+                           std::span<const uint8_t> data) SKEENA_REQUIRES(mu_);
   std::string SegmentPath(size_t index) const;
 
   const std::string dir_;
   Options options_;
   uint64_t segment_bytes_;
 
-  mutable std::mutex mu_;
-  std::vector<Segment> segments_;
-  uint64_t logical_size_ = 0;
+  mutable Mutex mu_;
+  std::vector<Segment> segments_ SKEENA_GUARDED_BY(mu_);
+  uint64_t logical_size_ SKEENA_GUARDED_BY(mu_) = 0;
   int dir_fd_ = -1;  // fsynced after segment create/unlink
   bool direct_effective_ = false;
   std::unique_ptr<UringQueue> uring_;
   // O_DIRECT staging: 4 KiB-aligned scratch, grown to the largest batch.
-  uint8_t* direct_buf_ = nullptr;
-  size_t direct_buf_len_ = 0;
+  uint8_t* direct_buf_ SKEENA_GUARDED_BY(mu_) = nullptr;
+  size_t direct_buf_len_ SKEENA_GUARDED_BY(mu_) = 0;
 
-  mutable uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
+  mutable uint64_t bytes_read_ SKEENA_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ SKEENA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace skeena

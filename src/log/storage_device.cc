@@ -23,7 +23,7 @@ MemDevice::MemDevice(DeviceLatency latency) : latency_(latency) {}
 
 Status MemDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     *offset = data_.size();
     data_.insert(data_.end(), data.begin(), data.end());
     bytes_written_ += data.size();
@@ -34,7 +34,7 @@ Status MemDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
 
 Status MemDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (offset + data.size() > data_.size()) data_.resize(offset + data.size());
     std::memcpy(data_.data() + offset, data.data(), data.size());
     bytes_written_ += data.size();
@@ -45,7 +45,7 @@ Status MemDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
 
 Status MemDevice::ReadAt(uint64_t offset, std::span<uint8_t> out) const {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     if (offset + out.size() > data_.size()) {
       return Status::IOError("read past end of device");
     }
@@ -62,23 +62,23 @@ Status MemDevice::Sync() {
 }
 
 Status MemDevice::Truncate(uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (size < data_.size()) data_.resize(size);
   return Status::OK();
 }
 
 uint64_t MemDevice::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return data_.size();
 }
 
 uint64_t MemDevice::bytes_read() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return bytes_read_;
 }
 
 uint64_t MemDevice::bytes_written() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return bytes_written_;
 }
 
@@ -132,7 +132,7 @@ Status FileDevice::PwriteFully(uint64_t offset, std::span<const uint8_t> data) {
 
 Status FileDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     *offset = size_;
     SKEENA_RETURN_NOT_OK(PwriteFully(size_, data));
     size_ += data.size();
@@ -144,7 +144,7 @@ Status FileDevice::Append(std::span<const uint8_t> data, uint64_t* offset) {
 
 Status FileDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     SKEENA_RETURN_NOT_OK(PwriteFully(offset, data));
     if (offset + data.size() > size_) size_ = offset + data.size();
     bytes_written_ += data.size();
@@ -155,7 +155,7 @@ Status FileDevice::WriteAt(uint64_t offset, std::span<const uint8_t> data) {
 
 Status FileDevice::ReadAt(uint64_t offset, std::span<uint8_t> out) const {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     ssize_t n = ::pread(fd_, out.data(), out.size(),
                         static_cast<off_t>(offset));
     if (n < 0 || static_cast<size_t>(n) != out.size()) {
@@ -176,7 +176,7 @@ Status FileDevice::Sync() {
 }
 
 Status FileDevice::Truncate(uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (size >= size_) return Status::OK();
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError("ftruncate failed: " + path_);
@@ -186,17 +186,17 @@ Status FileDevice::Truncate(uint64_t size) {
 }
 
 uint64_t FileDevice::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return size_;
 }
 
 uint64_t FileDevice::bytes_read() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return bytes_read_;
 }
 
 uint64_t FileDevice::bytes_written() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return bytes_written_;
 }
 

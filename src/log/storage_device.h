@@ -5,12 +5,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace skeena {
 
@@ -90,11 +90,11 @@ class MemDevice : public StorageDevice {
   uint64_t bytes_written() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<uint8_t> data_;
+  mutable Mutex mu_;
+  std::vector<uint8_t> data_ SKEENA_GUARDED_BY(mu_);
   DeviceLatency latency_;
-  mutable uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
+  mutable uint64_t bytes_read_ SKEENA_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ SKEENA_GUARDED_BY(mu_) = 0;
 };
 
 /// File-backed device (pread/pwrite/fsync). Used by the durability examples
@@ -133,14 +133,14 @@ class FileDevice : public StorageDevice {
   /// chunks), and treating one as failure would wrongly fail the flush.
   Status PwriteFully(uint64_t offset, std::span<const uint8_t> data);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   int fd_;
   std::string path_;
-  uint64_t size_;
+  uint64_t size_ SKEENA_GUARDED_BY(mu_);
   DeviceLatency latency_;
   PwriteFn pwrite_hook_ = nullptr;
-  mutable uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
+  mutable uint64_t bytes_read_ SKEENA_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ SKEENA_GUARDED_BY(mu_) = 0;
 };
 
 /// Busy-waits for `ns` nanoseconds to emulate device latency without the

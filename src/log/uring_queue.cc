@@ -64,6 +64,8 @@ struct UringQueue::Impl {
   }
 
   io_uring_sqe* NextSqe() {
+    // relaxed-ok: sq_tail is only advanced by this thread (single
+    // submitter); the kernel-facing release store publishes it.
     const unsigned tail = sq_tail->load(std::memory_order_relaxed);
     const unsigned head = sq_head->load(std::memory_order_acquire);
     if (tail - head >= entries) return nullptr;
@@ -189,6 +191,8 @@ Status UringQueue::SubmitAndWait() {
       return Status::IOError("io_uring_enter failed");
     }
     to_submit = 0;
+    // relaxed-ok: cq_head is only advanced by this thread (single
+    // reaper); the acquire on cq_tail orders the kernel's completions.
     unsigned head = impl_->cq_head->load(std::memory_order_relaxed);
     const unsigned tail = impl_->cq_tail->load(std::memory_order_acquire);
     while (head != tail && outstanding > 0) {

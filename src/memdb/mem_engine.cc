@@ -26,20 +26,20 @@ MemEngine::MemEngine(std::unique_ptr<StorageDevice> log_device,
 MemEngine::~MemEngine() = default;
 
 TableId MemEngine::CreateTable(const std::string& name) {
-  std::lock_guard<std::mutex> guard(tables_mu_);
+  MutexLock guard(tables_mu_);
   TableId id = static_cast<TableId>(tables_.size());
   tables_.push_back(std::make_unique<MemTable>(id, name));
   return id;
 }
 
 MemTable* MemEngine::GetTable(TableId id) const {
-  std::lock_guard<std::mutex> guard(tables_mu_);
+  MutexLock guard(tables_mu_);
   if (id >= tables_.size()) return nullptr;
   return tables_[id].get();
 }
 
 MemTable* MemEngine::GetTableByName(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(tables_mu_);
+  MutexLock guard(tables_mu_);
   for (const auto& t : tables_) {
     if (t->name() == name) return t.get();
   }
@@ -338,6 +338,8 @@ Lsn MemEngine::PostCommit(MemTxn* txn, GlobalTxnId gtid, bool cross_engine) {
     // run while readers spin on this transaction's record latches.
     std::vector<Version*> garbage;
     for (auto& w : txn->writes()) {
+      // relaxed-ok: the record latch is held; its release publishes the
+      // new head together with everything it links to.
       auto* v = new Version{txn->commit_ts_,
                             w.rec->head.load(std::memory_order_relaxed),
                             w.tombstone, std::move(w.value)};
@@ -413,8 +415,8 @@ void MemEngine::MaybeAdvanceGcFloor(uint64_t thread_commits) {
       thread_commits % options_.gc_interval != 0) {
     return;
   }
-  std::unique_lock<std::mutex> round(gc_round_mu_, std::try_to_lock);
-  if (!round.owns_lock()) return;  // another committer is advancing
+  // Explicit TryLock so TSA tracks the branch (see thread_annotations.h).
+  if (!gc_round_mu_.TryLock()) return;  // another committer is advancing
   // One exact registry scan (MinActive waits out in-flight registrations)
   // plus the coordinator's bound on what the CSR could still select. Both
   // are lower bounds on every live and future snapshot, so their min is
@@ -428,6 +430,7 @@ void MemEngine::MaybeAdvanceGcFloor(uint64_t thread_commits) {
   // Retired chains pile up between commits; nudge the epoch so limbo
   // drains even when nothing else drives TryAdvance.
   epoch_->TryAdvance();
+  gc_round_mu_.Unlock();
 }
 
 MemEngine::Stats MemEngine::stats() const {
@@ -509,6 +512,7 @@ Status MemEngine::ApplyReplicated(GlobalTxnId gtid, Timestamp cts,
   Timestamp floor = gc_floor_.load(std::memory_order_acquire);
   std::vector<Version*> garbage;
   for (const Pending& p : pend) {
+    // relaxed-ok: the record latch is held (see CommitInternal).
     auto* v = new Version{cts, p.rec->head.load(std::memory_order_relaxed),
                           p.r->tombstone, p.r->value};
     p.rec->head.store(v, std::memory_order_release);
@@ -575,6 +579,7 @@ Status MemEngine::Recover(const std::set<GlobalTxnId>& excluded) {
         return Status::Corruption("memdb log references unknown table");
       }
       Record* r = t->FindOrCreate(rec.key);
+      // relaxed-ok: single-threaded recovery replay; no concurrent reads.
       auto* v = new Version{buf->cts, r->head.load(std::memory_order_relaxed),
                             rec.tombstone, rec.value};
       r->head.store(v, std::memory_order_release);

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "common/epoch.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "log/log_manager.h"
 #include "log/log_records.h"
@@ -222,7 +222,7 @@ class MemEngine {
   // docs/RECLAMATION.md for the full argument. gc_round_mu_ only dedups
   // concurrent advance rounds (try-lock); it carries no floor protocol.
   std::atomic<Timestamp> gc_floor_{1};
-  std::mutex gc_round_mu_;
+  Mutex gc_round_mu_;
   std::function<Timestamp()> gc_horizon_provider_;
 
   // Hot-path counters are sharded so committing threads never contend on
@@ -234,8 +234,8 @@ class MemEngine {
   ShardedCounter abort_count_;
   ShardedCounter pruned_count_{/*read_cache_ns=*/50'000};
 
-  mutable std::mutex tables_mu_;
-  std::vector<std::unique_ptr<MemTable>> tables_;
+  mutable Mutex tables_mu_;
+  std::vector<std::unique_ptr<MemTable>> tables_ SKEENA_GUARDED_BY(tables_mu_);
 };
 
 }  // namespace skeena::memdb

@@ -5,6 +5,7 @@ namespace skeena::memdb {
 MemTable::~MemTable() {
   // Free all version chains. No concurrent access is allowed by contract.
   for (auto& rec : records_) {
+    // relaxed-ok: destructor, single-threaded by the same contract.
     Version* v = rec->head.load(std::memory_order_relaxed);
     while (v != nullptr) {
       Version* next = v->next;

@@ -21,10 +21,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -32,6 +30,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/database.h"
 #include "log/log_records.h"
@@ -104,6 +103,9 @@ class Replica {
                     const std::vector<LogRecord>& records);
   /// Clamp (anchor_h, other_h) against gate_mappings_ and publish.
   void RecomputeGate(Timestamp anchor_h, Timestamp other_h);
+  /// WaitCaughtUp's predicate (out-of-line so TSA sees the lock).
+  bool CaughtUpLocked(Lsn mem_lsn, Lsn stor_lsn, uint64_t csr_seq) const
+      SKEENA_REQUIRES(mu_);
 
   Database* db_;
   Options options_;
@@ -113,35 +115,36 @@ class Replica {
   std::atomic<bool> gate_disabled_{false};
   ReplChannel ch_;
 
-  // --- stream + staging state, owned by the run thread. Fields also read
-  // by WaitCaughtUp/progress are mutated under mu_ (held only around the
-  // mutation, never across engine calls — the engines' GC providers call
-  // back into GatePair).
-  Lsn recv_lsn_[kNumEngines] = {};
-  uint64_t csr_seq_ = 0;
+  // --- staging state owned by the run thread (no lock).
   // Data records grouped per gtid until the commit marker lands.
   std::unordered_map<GlobalTxnId, std::vector<LogRecord>> pending_[kNumEngines];
-  // Committed groups keyed by commit timestamp (mem cts / stor ser),
-  // applied in ascending order once a watermark covers them.
-  std::map<Timestamp, std::pair<GlobalTxnId, std::vector<LogRecord>>>
-      ready_[kNumEngines];
   // Replayed CSR mappings: anchor key -> installed [lo, hi] value range.
   // Run-thread only; the gate scan walks it descending.
   std::map<Timestamp, std::pair<Timestamp, Timestamp>> gate_mappings_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool applying_ = false;  // groups extracted from ready_, not yet applied
-  Timestamp applied_horizon_[kNumEngines] = {};
-  uint64_t watermarks_ = 0;
-  uint64_t reconnects_ = 0;
-  uint64_t groups_applied_ = 0;
+  // --- stream progress, shared with WaitCaughtUp/progress. Written only
+  // by the run thread; mu_ is held only around touches, never across
+  // engine calls — the engines' GC providers call back into GatePair.
+  mutable Mutex mu_;
+  CondVar cv_;
+  Lsn recv_lsn_[kNumEngines] SKEENA_GUARDED_BY(mu_) = {};
+  uint64_t csr_seq_ SKEENA_GUARDED_BY(mu_) = 0;
+  // Committed groups keyed by commit timestamp (mem cts / stor ser),
+  // applied in ascending order once a watermark covers them.
+  std::map<Timestamp, std::pair<GlobalTxnId, std::vector<LogRecord>>>
+      ready_[kNumEngines] SKEENA_GUARDED_BY(mu_);
+  // Groups extracted from ready_, not yet applied.
+  bool applying_ SKEENA_GUARDED_BY(mu_) = false;
+  Timestamp applied_horizon_[kNumEngines] SKEENA_GUARDED_BY(mu_) = {};
+  uint64_t watermarks_ SKEENA_GUARDED_BY(mu_) = 0;
+  uint64_t reconnects_ SKEENA_GUARDED_BY(mu_) = 0;
+  uint64_t groups_applied_ SKEENA_GUARDED_BY(mu_) = 0;
 
   // Published gate. Separate lock: GatePair() is called from reader
   // threads and from engine GC floors re-entered under mu_.
-  mutable std::mutex gate_mu_;
-  Timestamp gate_anchor_ = 1;
-  Timestamp gate_other_ = 1;
+  mutable Mutex gate_mu_ SKEENA_ACQUIRED_AFTER(mu_);
+  Timestamp gate_anchor_ SKEENA_GUARDED_BY(gate_mu_) = 1;
+  Timestamp gate_other_ SKEENA_GUARDED_BY(gate_mu_) = 1;
 };
 
 }  // namespace skeena::repl

@@ -1,9 +1,8 @@
 #include "repl/shipper.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
+#include "common/parking_lot.h"
 #include "log/log_manager.h"
 
 namespace skeena::repl {
@@ -21,19 +20,45 @@ Shipper::~Shipper() { Stop(); }
 Status Shipper::Start() {
   SKEENA_RETURN_NOT_OK(listener_.Listen(options_.port));
   stop_.store(false, std::memory_order_release);
+  // Wake sources for the serve loop's eventcount: every durable-LSN
+  // advance (group commit moved the shippable bound) and every CSR
+  // journal append (a new install to stream). Together with the watermark
+  // rule — horizons only cover durably committed transactions — these are
+  // the only events that can create ship work.
+  for (int e = 0; e < kNumEngines; ++e) {
+    if (LogManager* lm = db_->engine(e)->Log()) {
+      lm->SetDurableObserver([this](Lsn) { BumpProgress(); });
+    }
+  }
+  journal_->SetAppendObserver([this] { BumpProgress(); });
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void Shipper::Stop() {
   stop_.store(true, std::memory_order_release);
+  BumpProgress();  // unpark a serve loop idling on the eventcount
   listener_.Shutdown();
   {
-    std::lock_guard<std::mutex> guard(conns_mu_);
+    MutexLock guard(conns_mu_);
     for (ReplChannel* ch : live_) ch->Shutdown();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
+  // Unhook only after the serve loop is joined: the observers are invoked
+  // under the producers' own locks, so Set*Observer(nullptr) returning
+  // means no call into this (soon-destroyed) shipper is still running.
+  for (int e = 0; e < kNumEngines; ++e) {
+    if (LogManager* lm = db_->engine(e)->Log()) {
+      lm->SetDurableObserver(nullptr);
+    }
+  }
+  journal_->SetAppendObserver(nullptr);
+}
+
+void Shipper::BumpProgress() {
+  progress_seq_.fetch_add(1, std::memory_order_release);
+  ParkingLot::WakeAll(progress_seq_);
 }
 
 void Shipper::AcceptLoop() {
@@ -114,9 +139,10 @@ void Shipper::Serve(int fd) {
   ReplChannel ch;
   ch.Adopt(fd);
   {
-    std::lock_guard<std::mutex> guard(conns_mu_);
+    MutexLock guard(conns_mu_);
     live_.push_back(&ch);
   }
+  // relaxed-ok: monotone diagnostic counter.
   connections_.fetch_add(1, std::memory_order_relaxed);
 
   // Handshake: the replica leads with its resume cursors.
@@ -151,6 +177,11 @@ void Shipper::Serve(int fd) {
   uint64_t csr_target = 0;
 
   while (ok && !stop_.load(std::memory_order_acquire)) {
+    // Eventcount sample point. Every piece of stream state the pass reads
+    // (horizons, log targets, durable LSNs, journal size) is read after
+    // this load, so a producer bump racing the pass makes the ParkFor
+    // below return immediately instead of sleeping on a stale sample.
+    uint32_t seen = progress_seq_.load(std::memory_order_acquire);
     if (!have_wm) {
       Timestamp mem_h = db_->mem()->engine()->ReplicationHorizon();
       Timestamp stor_h = db_->stor()->engine()->ReplicationHorizon();
@@ -180,6 +211,7 @@ void Shipper::Serve(int fd) {
         if (s.ok()) {
           last_sent = wm;
           sent_any = true;
+          // relaxed-ok: monotone diagnostic counter.
           watermarks_.fetch_add(1, std::memory_order_relaxed);
           progress = true;
         }
@@ -197,13 +229,16 @@ void Shipper::Serve(int fd) {
     }
     if (!s.ok()) break;
     if (!progress) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.poll_interval_us));
+      // Nothing shipped: park until a durable advance / journal append
+      // bumps the eventcount. The backstop bounds how long a dead peer
+      // can go unnoticed (TryRecv above is the only close detector).
+      ParkingLot::ParkFor(progress_seq_, seen,
+                          uint64_t{options_.idle_backstop_us} * 1000);
     }
   }
 
   {
-    std::lock_guard<std::mutex> guard(conns_mu_);
+    MutexLock guard(conns_mu_);
     live_.erase(std::find(live_.begin(), live_.end(), &ch));
   }
   ch.Close();

@@ -26,12 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "core/database.h"
 #include "repl/channel.h"
@@ -52,12 +52,23 @@ class CsrInstallJournal {
   }
 
   void Append(Timestamp key, Timestamp value) {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     entries_.emplace_back(key, value);
+    if (observer_) observer_();
+  }
+
+  /// Registers a post-append hook, invoked while the journal lock is held
+  /// (and, transitively, under the CSR writer lock) — keep it wait-free;
+  /// the shipper's implementation bumps an eventcount word and issues at
+  /// most one wake. Set during wiring; clearing (nullptr) is race-free at
+  /// any time but loses wakes for appends that follow.
+  void SetAppendObserver(std::function<void()> observer) {
+    MutexLock guard(mu_);
+    observer_ = std::move(observer);
   }
 
   uint64_t size() const {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     return entries_.size();
   }
 
@@ -66,7 +77,7 @@ class CsrInstallJournal {
   size_t Read(uint64_t from, size_t max,
               std::vector<std::pair<Timestamp, Timestamp>>* out) const {
     out->clear();
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(mu_);
     for (uint64_t i = from; i < entries_.size() && out->size() < max; ++i) {
       out->push_back(entries_[i]);
     }
@@ -74,8 +85,9 @@ class CsrInstallJournal {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<Timestamp, Timestamp>> entries_;
+  mutable Mutex mu_;
+  std::vector<std::pair<Timestamp, Timestamp>> entries_ SKEENA_GUARDED_BY(mu_);
+  std::function<void()> observer_ SKEENA_GUARDED_BY(mu_);
 };
 
 class Shipper {
@@ -85,8 +97,11 @@ class Shipper {
     /// Soft bound on REPL_LOG payload bytes per frame (one oversized
     /// record still ships alone; the hard bound is kMaxFrameLen).
     size_t max_batch_bytes = 64 * 1024;
-    /// Idle sleep between ship passes when nothing advanced.
-    uint32_t poll_interval_us = 200;
+    /// Backstop park timeout when no durable-advance / journal-append wake
+    /// arrives. The eventcount provides the fast path; this bounds
+    /// dead-peer detection latency (the serve loop's TryRecv is the only
+    /// thing that notices a closed replica).
+    uint32_t idle_backstop_us = 50 * 1000;
   };
 
   Shipper(Database* db, CsrInstallJournal* journal, Options options);
@@ -111,15 +126,21 @@ class Shipper {
   }
 
   uint64_t connections_served() const {
+    // relaxed-ok: monotone diagnostic counter.
     return connections_.load(std::memory_order_relaxed);
   }
   uint64_t watermarks_sent() const {
+    // relaxed-ok: monotone diagnostic counter.
     return watermarks_.load(std::memory_order_relaxed);
   }
 
  private:
   void AcceptLoop();
   void Serve(int fd);
+  /// Producer side of the progress eventcount: bump, then wake parked
+  /// serve loops. Called from the engines' durable-LSN observers, the CSR
+  /// journal's append observer, and Stop().
+  void BumpProgress();
   /// Sends with the test cut hook applied; IOError when the cut fires.
   Status SendOnChannel(ReplChannel& ch, std::string frame);
   /// Ships one bounded REPL_LOG batch for engine `e` from *cursor toward
@@ -140,9 +161,16 @@ class Shipper {
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> watermarks_{0};
 
+  // Progress eventcount. A serve loop samples the word before reading any
+  // stream state, ships a pass, and parks on the sampled value when the
+  // pass made no progress; producers bump the word after the state they
+  // publish (durable LSN, journal tail) is visible, so a park can never
+  // miss an advance (common/parking_lot.h protocol).
+  std::atomic<uint32_t> progress_seq_{0};
+
   // Live connection channels, so Stop() can break their blocked I/O.
-  std::mutex conns_mu_;
-  std::vector<ReplChannel*> live_;
+  Mutex conns_mu_;
+  std::vector<ReplChannel*> live_ SKEENA_GUARDED_BY(conns_mu_);
 };
 
 }  // namespace skeena::repl

@@ -11,12 +11,11 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "core/database.h"
 #include "core/transaction.h"
 
@@ -60,12 +59,17 @@ struct Server::Impl {
     std::unique_ptr<Transaction> txn;
 
     // Cross-thread state.
-    std::mutex mu;
-    std::deque<Frame> pending;     // decoded frames awaiting a worker
-    std::string outbuf;            // encoded responses awaiting the socket
-    bool scheduled = false;        // a worker owns this conn right now
-    bool peer_eof = false;         // loop saw EOF / read error
-    bool close_after_flush = false;  // worker decided to drop the conn
+    Mutex mu;
+    // Decoded frames awaiting a worker.
+    std::deque<Frame> pending SKEENA_GUARDED_BY(mu);
+    // Encoded responses awaiting the socket.
+    std::string outbuf SKEENA_GUARDED_BY(mu);
+    // A worker owns this conn right now.
+    bool scheduled SKEENA_GUARDED_BY(mu) = false;
+    // Loop saw EOF / read error.
+    bool peer_eof SKEENA_GUARDED_BY(mu) = false;
+    // Worker decided to drop the conn.
+    bool close_after_flush SKEENA_GUARDED_BY(mu) = false;
   };
 
   struct Cmd {
@@ -90,14 +94,14 @@ struct Server::Impl {
   std::unordered_map<int, std::shared_ptr<Conn>> conns;
 
   // Worker scheduling.
-  std::mutex q_mu;
-  std::condition_variable q_cv;
-  std::deque<std::shared_ptr<Conn>> work;
-  bool workers_stop = false;
+  Mutex q_mu;
+  CondVar q_cv;
+  std::deque<std::shared_ptr<Conn>> work SKEENA_GUARDED_BY(q_mu);
+  bool workers_stop SKEENA_GUARDED_BY(q_mu) = false;
 
   // Loop commands from workers.
-  std::mutex cmd_mu;
-  std::vector<Cmd> cmds;
+  Mutex cmd_mu;
+  std::vector<Cmd> cmds SKEENA_GUARDED_BY(cmd_mu);
 
   // Stats.
   std::atomic<uint64_t> accepted{0}, closed_count{0}, frames_in{0},
@@ -151,7 +155,7 @@ struct Server::Impl {
 
   void PostCmd(Cmd::Kind kind, std::shared_ptr<Conn> c) {
     {
-      std::lock_guard<std::mutex> lock(cmd_mu);
+      MutexLock lock(cmd_mu);
       cmds.push_back(Cmd{kind, std::move(c)});
     }
     Wake();
@@ -194,15 +198,17 @@ struct Server::Impl {
   void RunCmds() {
     std::vector<Cmd> batch;
     {
-      std::lock_guard<std::mutex> lock(cmd_mu);
+      MutexLock lock(cmd_mu);
       batch.swap(cmds);
     }
     for (Cmd& cmd : batch) {
       if (cmd.conn->closed) continue;
       if (cmd.kind == Cmd::kArmWrite) {
-        std::unique_lock<std::mutex> lock(cmd.conn->mu);
-        bool need = !cmd.conn->outbuf.empty();
-        lock.unlock();
+        bool need;
+        {
+          MutexLock lock(cmd.conn->mu);
+          need = !cmd.conn->outbuf.empty();
+        }
         if (need) {
           UpdateInterest(cmd.conn, cmd.conn->interest | EPOLLOUT);
         }
@@ -283,7 +289,7 @@ struct Server::Impl {
 
     bool schedule = false;
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       for (Frame& f : got) c->pending.push_back(std::move(f));
       if (eof) c->peer_eof = true;
       if (!c->pending.empty() && !c->scheduled) {
@@ -297,10 +303,10 @@ struct Server::Impl {
     }
     if (schedule) {
       {
-        std::lock_guard<std::mutex> lock(q_mu);
+        MutexLock lock(q_mu);
         work.push_back(c);
       }
-      q_cv.notify_one();
+      q_cv.NotifyOne();
     } else if (eof) {
       CheckClose(c);
     }
@@ -309,8 +315,8 @@ struct Server::Impl {
   void HandleWritable(const std::shared_ptr<Conn>& c) {
     bool drained;
     {
-      std::lock_guard<std::mutex> lock(c->mu);
-      FlushLocked(c.get());
+      MutexLock lock(c->mu);
+      FlushLocked(*c);
       drained = c->outbuf.empty();
     }
     if (drained) {
@@ -319,21 +325,23 @@ struct Server::Impl {
     }
   }
 
-  /// Writes as much of outbuf as the socket takes. Caller holds c->mu.
+  /// Writes as much of outbuf as the socket takes. Caller holds c.mu
+  /// (takes a reference so the REQUIRES expression unifies with the
+  /// `c->mu` capability TSA sees at shared_ptr call sites).
   /// On a hard write error the buffer is dropped and the connection is
   /// marked for closing (the peer is gone; EPOLLHUP will confirm).
-  static void FlushLocked(Conn* c) {
-    while (!c->outbuf.empty()) {
-      ssize_t n = ::send(c->fd, c->outbuf.data(), c->outbuf.size(),
+  static void FlushLocked(Conn& c) SKEENA_REQUIRES(c.mu) {
+    while (!c.outbuf.empty()) {
+      ssize_t n = ::send(c.fd, c.outbuf.data(), c.outbuf.size(),
                          MSG_NOSIGNAL);
       if (n > 0) {
-        c->outbuf.erase(0, static_cast<size_t>(n));
+        c.outbuf.erase(0, static_cast<size_t>(n));
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
       if (n < 0 && errno == EINTR) continue;
-      c->outbuf.clear();
-      c->close_after_flush = true;
+      c.outbuf.clear();
+      c.close_after_flush = true;
       return;
     }
   }
@@ -346,7 +354,7 @@ struct Server::Impl {
     if (c->closed) return;
     bool schedule = false;
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       if (!c->peer_eof && !c->close_after_flush) return;
       if (c->close_after_flush) {
         // A worker rejected the stream (protocol error / slow reader):
@@ -359,7 +367,7 @@ struct Server::Impl {
         c->scheduled = true;
         schedule = true;
       } else {
-        FlushLocked(c.get());
+        FlushLocked(*c);
         if (!c->outbuf.empty()) {
           // Flush pending; EPOLLOUT completion re-enters CheckClose. Mark
           // the conn closing so new input cannot revive it.
@@ -369,14 +377,14 @@ struct Server::Impl {
     }
     if (schedule) {
       {
-        std::lock_guard<std::mutex> lock(q_mu);
+        MutexLock lock(q_mu);
         work.push_back(c);
       }
-      q_cv.notify_one();
+      q_cv.NotifyOne();
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       if (!c->outbuf.empty()) {
         // Still flushing: arm EPOLLOUT (idempotent) and wait.
         UpdateInterest(c, c->interest | EPOLLOUT);
@@ -409,8 +417,11 @@ struct Server::Impl {
     for (;;) {
       std::shared_ptr<Conn> c;
       {
-        std::unique_lock<std::mutex> lock(q_mu);
-        q_cv.wait(lock, [&] { return workers_stop || !work.empty(); });
+        MutexLock lock(q_mu);
+        // Explicit wait loop (not the predicate overload): TSA analyzes a
+        // lambda body without the enclosing lock set, so a predicate that
+        // reads guarded fields would trip -Wthread-safety.
+        while (!workers_stop && work.empty()) q_cv.Wait(q_mu);
         if (workers_stop && work.empty()) return;
         c = std::move(work.front());
         work.pop_front();
@@ -424,7 +435,7 @@ struct Server::Impl {
     for (;;) {
       std::deque<Frame> batch;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(c->mu);
         if (c->pending.empty() || c->close_after_flush) {
           c->scheduled = false;
           post_check = c->peer_eof || c->close_after_flush;
@@ -442,7 +453,7 @@ struct Server::Impl {
 
       bool need_arm = false;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(c->mu);
         c->outbuf.append(out);
         if (drop_conn) c->close_after_flush = true;
         if (c->outbuf.size() > opts.max_outbuf_bytes) {
@@ -450,7 +461,7 @@ struct Server::Impl {
           c->outbuf.clear();
           c->close_after_flush = true;
         }
-        FlushLocked(c.get());
+        FlushLocked(*c);
         need_arm = !c->outbuf.empty();
       }
       if (need_arm) PostCmd(Cmd::kArmWrite, c);
@@ -695,10 +706,10 @@ void Server::Stop() {
 
   // 2. Drain the workers (they finish in-flight frames, then exit).
   {
-    std::lock_guard<std::mutex> lock(im.q_mu);
+    MutexLock lock(im.q_mu);
     im.workers_stop = true;
   }
-  im.q_cv.notify_all();
+  im.q_cv.NotifyAll();
   for (std::thread& t : im.worker_threads) {
     if (t.joinable()) t.join();
   }

@@ -25,15 +25,17 @@ PageGuard::~PageGuard() {
   if (pool_ != nullptr) pool_->Unpin(frame_idx_, false);
 }
 
-void PageGuard::LockShared() { pool_->frames_[frame_idx_]->latch.lock_shared(); }
-void PageGuard::UnlockShared() {
-  pool_->frames_[frame_idx_]->latch.unlock_shared();
+void PageGuard::LockShared() {
+  pool_->frames_[frame_idx_]->latch.LockShared();
 }
-void PageGuard::LockExclusive() { pool_->frames_[frame_idx_]->latch.lock(); }
+void PageGuard::UnlockShared() {
+  pool_->frames_[frame_idx_]->latch.UnlockShared();
+}
+void PageGuard::LockExclusive() { pool_->frames_[frame_idx_]->latch.Lock(); }
 void PageGuard::UnlockExclusive() {
   auto* f = pool_->frames_[frame_idx_].get();
   f->dirty.store(true, std::memory_order_release);
-  f->latch.unlock();
+  f->latch.Unlock();
 }
 
 BufferPool::BufferPool(size_t num_pages, DeviceResolver resolver,
@@ -111,23 +113,23 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
   Shard& shard = shards_[std::hash<PageId>{}(pid) % shards_.size()];
 
   for (;;) {
-    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.mu.Lock();
     auto it = shard.table.find(pid);
     if (it != shard.table.end()) {
       size_t idx = it->second;
       Frame* f = frames_[idx].get();
       PinMapped(f);
       f->referenced = true;
-      lock.unlock();
+      shard.mu.Unlock();
       // Wait out a concurrent loader (it holds the exclusive latch for the
       // duration of its I/O), then revalidate: a failed load — or a failed
       // write-back restoring the victim's old identity — unmaps the frame
       // while we are already pinned on it.
-      f->latch.lock_shared();
+      f->latch.LockShared();
       bool valid = WordState(f->word.load(std::memory_order_acquire)) ==
                        FrameState::kResident &&
                    f->pid == pid;
-      f->latch.unlock_shared();
+      f->latch.UnlockShared();
       if (valid) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         return PageGuard(this, idx, f->data);
@@ -144,7 +146,7 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
     auto fl = shard.inflight.find(pid);
     if (fl != shard.inflight.end()) {
       std::shared_ptr<FlushTicket> ticket = fl->second;
-      lock.unlock();
+      shard.mu.Unlock();
       flush_waits_.fetch_add(1, std::memory_order_relaxed);
       auto flushed = [&] {
         return ticket->done.load(std::memory_order_acquire) != 0;
@@ -192,6 +194,7 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
       break;
     }
     if (victim_idx == ~size_t{0}) {
+      shard.mu.Unlock();
       return Status::Busy("buffer pool exhausted: all pages pinned");
     }
 
@@ -217,14 +220,14 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
     // would record a shard.mu → latch ordering edge that inverts the
     // latch → shard.mu edges in the write-back paths below, and TSan
     // would report the (unrealizable) cycle as a potential deadlock.
-    while (!victim->latch.try_lock()) CpuRelax();
+    while (!victim->latch.TryLock()) CpuRelax();
     if (claimed_from == FrameState::kResident) {
       TransitionState(victim, FrameState::kEvicting, FrameState::kLoading);
     }
     victim->pid = pid;
     victim->referenced = true;
     shard.table[pid] = victim_idx;
-    lock.unlock();
+    shard.mu.Unlock();
 
     // I/O outside the shard mutex. First the dirty write-back of the old
     // image (the frame still holds it), then the load of the new page.
@@ -239,23 +242,23 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
         // The frame holds the only copy of old_pid: restore its mapping
         // (still dirty) instead of losing the page, and unpublish the new
         // pid so no fetcher ever sees a mapping backed by garbage.
-        lock.lock();
+        shard.mu.Lock();
         shard.table.erase(pid);
         shard.inflight.erase(old_pid);
         victim->pid = old_pid;
         shard.table[old_pid] = victim_idx;
         TransitionState(victim, FrameState::kLoading, FrameState::kResident);
-        lock.unlock();
+        shard.mu.Unlock();
         CompleteTicket(*ticket);  // parked fetchers retry and hit the restore
-        victim->latch.unlock();
+        victim->latch.Unlock();
         Unpin(victim_idx, false);
         return s;
       }
       victim->dirty.store(false, std::memory_order_release);
       write_backs_.fetch_add(1, std::memory_order_relaxed);
-      lock.lock();
+      shard.mu.Lock();
       shard.inflight.erase(old_pid);
-      lock.unlock();
+      shard.mu.Unlock();
       CompleteTicket(*ticket);
     }
 
@@ -281,17 +284,17 @@ Result<PageGuard> BufferPool::FetchInternal(PageId pid, bool create_new) {
     if (!load.ok()) {
       // Unmap instead of leaving a resident mapping full of garbage; any
       // fetcher already pinned on the latch revalidates and retries.
-      lock.lock();
+      shard.mu.Lock();
       shard.table.erase(pid);
       victim->pid = kInvalidPageId;
       TransitionState(victim, FrameState::kLoading, FrameState::kFree);
-      lock.unlock();
-      victim->latch.unlock();
+      shard.mu.Unlock();
+      victim->latch.Unlock();
       Unpin(victim_idx, false);
       return load;
     }
     TransitionState(victim, FrameState::kLoading, FrameState::kResident);
-    victim->latch.unlock();
+    victim->latch.Unlock();
     return PageGuard(this, victim_idx, victim->data);
   }
 }
@@ -328,7 +331,7 @@ Status BufferPool::FlushAll() {
     // The pin blocks eviction, so pid/data are stable; the shared latch
     // excludes in-place writers, so clearing `dirty` after the write-back
     // cannot swallow a concurrent UnlockExclusive's dirty set.
-    f->latch.lock_shared();
+    f->latch.LockShared();
     if (f->dirty.load(std::memory_order_acquire)) {
       StorageDevice* dev = resolver_(PageIdTable(f->pid));
       uint64_t off = static_cast<uint64_t>(PageIdNo(f->pid)) * kPageSize;
@@ -342,7 +345,7 @@ Status BufferPool::FlushAll() {
         first_error = s;
       }
     }
-    f->latch.unlock_shared();
+    f->latch.UnlockShared();
     Unpin(i, false);
   }
   return first_error;

@@ -23,17 +23,17 @@ bool LockManager::CanGrant(const LockQueue& q, uint64_t txn_id, LockMode mode,
 
 void LockManager::AddEdges(uint64_t waiter,
                            const std::vector<uint64_t>& holders) {
-  std::lock_guard<std::mutex> guard(graph_mu_);
+  MutexLock guard(graph_mu_);
   waits_for_[waiter] = holders;
 }
 
 void LockManager::ClearEdges(uint64_t waiter) {
-  std::lock_guard<std::mutex> guard(graph_mu_);
+  MutexLock guard(graph_mu_);
   waits_for_.erase(waiter);
 }
 
 bool LockManager::WouldDeadlock(uint64_t waiter) {
-  std::lock_guard<std::mutex> guard(graph_mu_);
+  MutexLock guard(graph_mu_);
   // DFS from the waiter's blockers; a path back to the waiter is a cycle.
   std::vector<uint64_t> stack;
   std::unordered_set<uint64_t> visited;
@@ -54,7 +54,7 @@ bool LockManager::WouldDeadlock(uint64_t waiter) {
 
 Status LockManager::Lock(uint64_t txn_id, Rid rid, LockMode mode) {
   Bucket& bucket = BucketFor(rid);
-  std::unique_lock<std::mutex> lk(bucket.mu);
+  MutexLock lk(bucket.mu);
   LockQueue& q = bucket.queues[rid];
 
   bool upgrade = false;
@@ -85,6 +85,7 @@ Status LockManager::Lock(uint64_t txn_id, Rid rid, LockMode mode) {
     q.waiters.push_back(Waiter{txn_id, mode, /*upgrade=*/false});
   }
 
+  // relaxed-ok: stat counter.
   waits_.fetch_add(1, std::memory_order_relaxed);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(options_.wait_timeout_ms);
@@ -126,13 +127,14 @@ Status LockManager::Lock(uint64_t txn_id, Rid rid, LockMode mode) {
     if (WouldDeadlock(txn_id)) {
       remove_waiter();
       ClearEdges(txn_id);
+      // relaxed-ok: stat counter.
       deadlocks_.fetch_add(1, std::memory_order_relaxed);
       return Status::Deadlock("record lock deadlock");
     }
     // Sleep in short slices so a deadlock formed while every participant is
     // already blocked is still detected promptly by the re-probe above.
     auto slice = std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
-    bucket.cv.wait_until(lk, std::min(slice, deadline));
+    bucket.cv.WaitUntil(bucket.mu, std::min(slice, deadline));
     if (std::chrono::steady_clock::now() >= deadline) {
       if (granted()) {
         ClearEdges(txn_id);
@@ -140,6 +142,7 @@ Status LockManager::Lock(uint64_t txn_id, Rid rid, LockMode mode) {
       }
       remove_waiter();
       ClearEdges(txn_id);
+      // relaxed-ok: stat counter.
       timeouts_.fetch_add(1, std::memory_order_relaxed);
       return Status::TimedOut("lock wait timeout");
     }
@@ -149,7 +152,7 @@ Status LockManager::Lock(uint64_t txn_id, Rid rid, LockMode mode) {
 void LockManager::ReleaseAll(uint64_t txn_id, const std::vector<Rid>& rids) {
   for (Rid rid : rids) {
     Bucket& bucket = BucketFor(rid);
-    std::lock_guard<std::mutex> lk(bucket.mu);
+    MutexLock lk(bucket.mu);
     auto it = bucket.queues.find(rid);
     if (it == bucket.queues.end()) continue;
     LockQueue& q = it->second;
@@ -176,13 +179,13 @@ void LockManager::ReleaseAll(uint64_t txn_id, const std::vector<Rid>& rids) {
     if (q.holders.empty() && q.waiters.empty()) {
       bucket.queues.erase(it);
     }
-    if (promoted) bucket.cv.notify_all();
+    if (promoted) bucket.cv.NotifyAll();
   }
 }
 
 bool LockManager::Holds(uint64_t txn_id, Rid rid, LockMode mode) const {
   const Bucket& bucket = BucketFor(rid);
-  std::lock_guard<std::mutex> lk(bucket.mu);
+  MutexLock lk(bucket.mu);
   auto it = bucket.queues.find(rid);
   if (it == bucket.queues.end()) return false;
   for (const Holder& h : it->second.holders) {

@@ -1,15 +1,14 @@
 #ifndef SKEENA_STORDB_LOCK_MANAGER_H_
 #define SKEENA_STORDB_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "stordb/page.h"
 
 namespace skeena::stordb {
@@ -72,9 +71,9 @@ class LockManager {
     std::deque<Waiter> waiters;
   };
   struct Bucket {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<Rid, LockQueue> queues;
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<Rid, LockQueue> queues SKEENA_GUARDED_BY(mu);
   };
 
   Bucket& BucketFor(Rid rid) {
@@ -97,8 +96,9 @@ class LockManager {
   Options options_;
   std::vector<Bucket> buckets_;
 
-  std::mutex graph_mu_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> waits_for_;
+  Mutex graph_mu_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> waits_for_
+      SKEENA_GUARDED_BY(graph_mu_);
 
   std::atomic<uint64_t> deadlocks_{0};
   std::atomic<uint64_t> timeouts_{0};

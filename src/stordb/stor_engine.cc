@@ -49,7 +49,7 @@ StorEngine::~StorEngine() {
 
 TableId StorEngine::CreateTable(const std::string& name,
                                 size_t max_value_size) {
-  std::lock_guard<std::mutex> guard(tables_mu_);
+  MutexLock guard(tables_mu_);
   auto t = std::make_unique<StorTable>();
   t->id = static_cast<TableId>(tables_.size());
   t->name = name;
@@ -63,7 +63,7 @@ TableId StorEngine::CreateTable(const std::string& name,
 }
 
 StorEngine::StorTable* StorEngine::GetTable(TableId id) const {
-  std::lock_guard<std::mutex> guard(tables_mu_);
+  MutexLock guard(tables_mu_);
   if (id >= tables_.size()) return nullptr;
   return tables_[id].get();
 }
@@ -76,6 +76,7 @@ size_t StorEngine::TableRowCapacity(TableId id) const {
 std::unique_ptr<StorTxn> StorEngine::Begin(IsolationLevel iso,
                                            Timestamp snapshot) {
   auto txn = std::make_unique<StorTxn>(iso);
+  // relaxed-ok: lock-owner ids only need uniqueness.
   txn->lock_owner_ = next_lock_owner_.fetch_add(1, std::memory_order_relaxed);
   txn->pending_ser_limit_ = snapshot;
   if (snapshot != kMaxTimestamp) {
@@ -146,7 +147,7 @@ Status StorEngine::RefreshSnapshot(StorTxn* txn, Timestamp snapshot) {
 }
 
 Rid StorEngine::AllocateSlot(StorTable* t) {
-  std::lock_guard<std::mutex> guard(t->insert_mu);
+  MutexLock guard(t->insert_mu);
   if (t->pages_allocated == 0 || t->tail_slots_used == t->slots_per_page) {
     t->pages_allocated++;
     t->tail_slots_used = 0;
@@ -566,7 +567,7 @@ void StorEngine::RetireUndos(StorTxn* txn) {
   size_t count = txn->undo_count_;
   txn->undo_head_ = nullptr;
   txn->undo_count_ = 0;
-  std::lock_guard<std::mutex> guard(pending_mu_);
+  MutexLock guard(pending_mu_);
   pending_undos_.push_back(PendingUndos{ser, head, count});
 }
 
@@ -575,8 +576,8 @@ void StorEngine::MaybePurge(uint64_t thread_commits) {
       thread_commits % options_.purge_interval != 0) {
     return;
   }
-  std::unique_lock<std::mutex> round(purge_round_mu_, std::try_to_lock);
-  if (!round.owns_lock()) return;  // another committer is purging
+  // Explicit TryLock so TSA tracks the branch (see thread_annotations.h).
+  if (!purge_round_mu_.TryLock()) return;  // another committer is purging
   // One exact view-registry scan (MinActive waits out in-flight
   // registrations) plus the coordinator's bound on what the CSR could
   // still select; their min is safe both to reclaim with and to validate
@@ -592,7 +593,7 @@ void StorEngine::MaybePurge(uint64_t thread_commits) {
   // waits for the floor to pass the head too — conservative, never unsafe.
   std::vector<PendingUndos> ripe;
   {
-    std::lock_guard<std::mutex> guard(pending_mu_);
+    MutexLock guard(pending_mu_);
     while (!pending_undos_.empty() && pending_undos_.front().ser < m) {
       ripe.push_back(pending_undos_.front());
       pending_undos_.pop_front();
@@ -603,6 +604,7 @@ void StorEngine::MaybePurge(uint64_t thread_commits) {
     epoch_->RetireRaw(p.head, &DeleteUndoBatchRaw);
   }
   epoch_->TryAdvance();
+  purge_round_mu_.Unlock();
 }
 
 StorEngine::Stats StorEngine::stats() const {

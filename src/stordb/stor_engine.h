@@ -4,7 +4,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "common/epoch.h"
 #include "common/sharded_counter.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "index/btree.h"
 #include "log/log_manager.h"
@@ -188,9 +188,9 @@ class StorEngine {
     BTree index;  // key -> Rid
     std::unique_ptr<StorageDevice> device;
 
-    std::mutex insert_mu;
-    uint32_t pages_allocated = 0;
-    size_t tail_slots_used = 0;
+    Mutex insert_mu;
+    uint32_t pages_allocated SKEENA_GUARDED_BY(insert_mu) = 0;
+    size_t tail_slots_used SKEENA_GUARDED_BY(insert_mu) = 0;
   };
 
   StorTable* GetTable(TableId id) const;
@@ -238,8 +238,9 @@ class StorEngine {
   // append; MinActive over it bounds ReplicationHorizon().
   ActiveSnapshotRegistry committing_;
 
-  mutable std::mutex tables_mu_;
-  std::vector<std::unique_ptr<StorTable>> tables_;
+  mutable Mutex tables_mu_;
+  std::vector<std::unique_ptr<StorTable>> tables_
+      SKEENA_GUARDED_BY(tables_mu_);
 
   // Reclamation domain (shared with the CSR and the other engine when
   // database-owned).
@@ -252,13 +253,13 @@ class StorEngine {
   // epoch manager; out-of-order bounds (a smaller ser finishing after a
   // larger one) just wait one extra round behind the head, which is always
   // safe. This replaces the old retained-list std::partition scan.
-  std::mutex pending_mu_;
+  Mutex pending_mu_;
   struct PendingUndos {
     uint64_t ser;
     UndoRecord* head;  // intrusive newest-first chain, Retire()d whole
     size_t count;      // chain length (undo_purged diagnostic)
   };
-  std::deque<PendingUndos> pending_undos_;
+  std::deque<PendingUndos> pending_undos_ SKEENA_GUARDED_BY(pending_mu_);
 
   // Single undo-purge floor (monotone, exclusive in ser space). Advanced
   // to min(view-registry scan, provider) every purge_interval commits; the
@@ -267,7 +268,7 @@ class StorEngine {
   // only makes rounds non-reentrant (PurgeStates keeps one-round state for
   // the aborted-entry grace period); it carries no floor protocol.
   std::atomic<uint64_t> purge_floor_{0};
-  std::mutex purge_round_mu_;
+  Mutex purge_round_mu_;
   std::function<uint64_t()> purge_horizon_provider_;
 
   // Hot-path counters are sharded so committing threads never contend on

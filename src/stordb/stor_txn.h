@@ -28,6 +28,7 @@ struct UndoRecord {
   bool old_deleted = false;
   bool was_insert = false;  // the row did not exist before this write
 
+  // relaxed-ok: leak-check gauge, read only at quiescent points.
   UndoRecord() { live_count_.fetch_add(1, std::memory_order_relaxed); }
   ~UndoRecord() { live_count_.fetch_sub(1, std::memory_order_relaxed); }
   UndoRecord(const UndoRecord&) = delete;
@@ -37,6 +38,7 @@ struct UndoRecord {
   /// epoch limbo). Reclaim tests assert this returns to zero once every
   /// transaction has finished and purge + epoch drain have run.
   static size_t LiveCount() {
+    // relaxed-ok: leak-check gauge, read only at quiescent points.
     return live_count_.load(std::memory_order_relaxed);
   }
 

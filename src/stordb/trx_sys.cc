@@ -11,7 +11,7 @@ TrxSys::TrxSys() {
 }
 
 uint64_t TrxSys::AssignTid() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   uint64_t tid = next_tid_++;
   active_tids_.insert(tid);
   last_allocated_.store(tid, std::memory_order_release);
@@ -20,7 +20,7 @@ uint64_t TrxSys::AssignTid() {
 }
 
 uint64_t TrxSys::AssignSerNo(uint64_t tid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   uint64_t ser = next_tid_++;
   last_allocated_.store(ser, std::memory_order_release);
   states_.Put(tid, StateSnapshot{TxnState::kPreCommitted, ser});
@@ -28,16 +28,18 @@ uint64_t TrxSys::AssignSerNo(uint64_t tid) {
 }
 
 void TrxSys::ForceSerNo(uint64_t tid, uint64_t ser) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   states_.Put(tid, StateSnapshot{TxnState::kPreCommitted, ser});
   if (ser >= next_tid_) next_tid_ = ser + 1;
+  // relaxed-ok: mu_ is held, so no concurrent writer; the release store
+  // below is the publication edge for lock-free readers.
   if (ser > last_allocated_.load(std::memory_order_relaxed)) {
     last_allocated_.store(ser, std::memory_order_release);
   }
 }
 
 void TrxSys::MarkCommitted(uint64_t tid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto st = states_.Get(tid);
   uint64_t ser = st.has_value() ? st->ser : 0;
   states_.Put(tid, StateSnapshot{TxnState::kCommitted, ser});
@@ -46,13 +48,13 @@ void TrxSys::MarkCommitted(uint64_t tid) {
     // Terminal state: enters the purge FIFO exactly once. A ser of 0
     // (commit without AssignSerNo) never becomes purgeable, matching the
     // scan-based predicate this index replaced.
-    std::lock_guard<std::mutex> rguard(resolved_mu_);
+    MutexLock rguard(resolved_mu_);
     resolved_commits_.push_back(Resolved{ser, tid});
   }
 }
 
 void TrxSys::MarkAborting(uint64_t tid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto st = states_.Get(tid);
   states_.Put(tid, StateSnapshot{TxnState::kAborted,
                                  st.has_value() ? st->ser : 0});
@@ -60,7 +62,7 @@ void TrxSys::MarkAborting(uint64_t tid) {
 }
 
 void TrxSys::FinishAbort(uint64_t tid) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   active_tids_.erase(tid);
   // Re-stamp the aborted state with the CURRENT counter as its retire
   // bound. A reader that captured this tid from a row header before the
@@ -71,13 +73,13 @@ void TrxSys::FinishAbort(uint64_t tid) {
   // its registered view keeps the purge below. (The ser of an aborted
   // state is otherwise unused: visibility only looks at the state tag.)
   states_.Put(tid, StateSnapshot{TxnState::kAborted, next_tid_});
-  std::lock_guard<std::mutex> rguard(resolved_mu_);
+  MutexLock rguard(resolved_mu_);
   resolved_aborts_.push_back(Resolved{next_tid_, tid});
 }
 
 ReadView TrxSys::CreateReadView(uint64_t own_tid) {
   ReadView view;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   view.high_water = next_tid_;
   view.low_water =
       active_tids_.empty() ? next_tid_ : *active_tids_.begin();
@@ -143,7 +145,7 @@ size_t TrxSys::PurgeStates(uint64_t min_ser) {
   // everything retained.
   std::vector<uint64_t> ripe;
   {
-    std::lock_guard<std::mutex> guard(resolved_mu_);
+    MutexLock guard(resolved_mu_);
     while (!resolved_commits_.empty() &&
            resolved_commits_.front().ser < min_ser) {
       ripe.push_back(resolved_commits_.front().tid);
@@ -161,7 +163,7 @@ size_t TrxSys::PurgeStates(uint64_t min_ser) {
 }
 
 void TrxSys::AdvanceTo(uint64_t next) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (next > next_tid_) {
     next_tid_ = next;
     last_allocated_.store(next - 1, std::memory_order_release);
@@ -169,7 +171,7 @@ void TrxSys::AdvanceTo(uint64_t next) {
 }
 
 size_t TrxSys::ActiveCount() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return active_tids_.size();
 }
 

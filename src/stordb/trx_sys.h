@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/active_registry.h"
+#include "common/thread_annotations.h"
 #include "common/spin_latch.h"
 #include "common/types.h"
 #include "index/concurrent_hash_map.h"
@@ -155,9 +155,9 @@ class TrxSys {
   size_t ActiveCount() const;
 
  private:
-  mutable std::mutex mu_;  // the trx-sys mutex
-  uint64_t next_tid_ = 2;  // tid 1 = genesis loader
-  std::set<uint64_t> active_tids_;
+  mutable Mutex mu_ SKEENA_ACQUIRED_BEFORE(resolved_mu_);  // the trx-sys mutex
+  uint64_t next_tid_ SKEENA_GUARDED_BY(mu_) = 2;  // tid 1 = genesis loader
+  std::set<uint64_t> active_tids_ SKEENA_GUARDED_BY(mu_);
   std::atomic<uint64_t> last_allocated_{1};
 
   mutable ConcurrentHashMap<uint64_t, StateSnapshot> states_;
@@ -172,9 +172,9 @@ class TrxSys {
     uint64_t ser;
     uint64_t tid;
   };
-  std::mutex resolved_mu_;  // acquired after mu_ (never the reverse)
-  std::deque<Resolved> resolved_commits_;
-  std::deque<Resolved> resolved_aborts_;
+  Mutex resolved_mu_;  // acquired after mu_ (never the reverse)
+  std::deque<Resolved> resolved_commits_ SKEENA_GUARDED_BY(resolved_mu_);
+  std::deque<Resolved> resolved_aborts_ SKEENA_GUARDED_BY(resolved_mu_);
 };
 
 }  // namespace skeena::stordb

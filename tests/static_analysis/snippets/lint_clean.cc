@@ -1,0 +1,20 @@
+// Control for scripts/check_invariants.py: a file every rule should pass.
+// The harness asserts the linter reports ZERO findings on a scratch tree
+// containing only this file — guarding against rules so broad they flag
+// everything (which would make the violation assertions vacuous).
+// Lexical analysis only — never compiled.
+class Gauge {
+ public:
+  void Set(uint64_t v) {
+    // relaxed-ok: diagnostic gauge, no ordering consumers.
+    value_.store(v, std::memory_order_relaxed);
+  }
+  uint64_t Snapshot(EpochDomain& domain) {
+    {
+      EpochGuard guard(domain);
+      last_ = Collect();
+    }  // guard dropped before any wait
+    cv_.WaitFor(mu_, kPollInterval);
+    return last_;
+  }
+};

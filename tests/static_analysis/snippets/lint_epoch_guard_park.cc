@@ -1,0 +1,10 @@
+// Seeded violation for scripts/check_invariants.py rule
+// epoch-guard-blocking: a ParkingLot park inside a live EpochGuard scope
+// (the guard pins reclamation for the whole domain while the thread
+// sleeps). The harness copies this file into a scratch src/ tree and
+// asserts the linter flags it. Lexical analysis only — never compiled.
+void Worker(EpochDomain& domain, std::atomic<uint32_t>& word) {
+  EpochGuard guard(domain);
+  uint32_t expected = word.load();
+  ParkingLot::Park(word, expected);  // BUG (intentional): guard still live
+}

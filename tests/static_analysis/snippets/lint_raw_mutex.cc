@@ -1,0 +1,14 @@
+// Seeded violation for scripts/check_invariants.py rule raw-std-sync:
+// a raw std::mutex outside common/thread_annotations.h is invisible to
+// clang's thread-safety analysis. Lexical analysis only — never compiled.
+class Cache {
+ public:
+  void Put(int k) {
+    std::lock_guard<std::mutex> lock(mu_);  // BUG (intentional)
+    last_ = k;
+  }
+
+ private:
+  std::mutex mu_;  // BUG (intentional): use skeena::Mutex
+  int last_ = 0;
+};

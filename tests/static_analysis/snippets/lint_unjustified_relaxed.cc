@@ -1,0 +1,10 @@
+// Seeded violation for scripts/check_invariants.py rule
+// unjustified-relaxed: a relaxed atomic load with no justification
+// comment and no per-file allowlist entry. Lexical analysis only —
+// never compiled. NOTE: the justification marker string must not appear
+// anywhere near the violation line, or the rule's 3-line lookback
+// window would treat this header as the justification.
+
+uint64_t ReadStat(const std::atomic<uint64_t>& counter) {
+  return counter.load(std::memory_order_relaxed);  // BUG (intentional)
+}

@@ -1,0 +1,38 @@
+// Control for tests/static_analysis/run_checks.py: the CORRECT version of
+// the seeded TSA violations. The harness asserts this compiles cleanly
+// under -Werror=thread-safety — if it does not, the "expected failure"
+// assertions on the violation snippets would be passing for the wrong
+// reason (bad flags, broken include path) rather than because the
+// analysis caught the bug.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    skeena::MutexLock lock(mu_);
+    total_ += d;
+  }
+  int Read() const {
+    skeena::MutexLock lock(mu_);
+    return total_;
+  }
+  int ReadLocked() const SKEENA_REQUIRES(mu_) { return total_; }
+  int TwoReads() const {
+    skeena::MutexLock lock(mu_);
+    return ReadLocked() + total_;
+  }
+
+ private:
+  mutable skeena::Mutex mu_;
+  int total_ SKEENA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Read() + c.TwoReads();
+}

@@ -1,0 +1,29 @@
+// Seeded violation for tests/static_analysis/run_checks.py: reads a
+// GUARDED_BY field without holding its mutex. The harness compiles this
+// with clang's -Werror=thread-safety and asserts the build FAILS; if it
+// ever compiles, the annotation lane has silently stopped checking.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    skeena::MutexLock lock(mu_);
+    total_ += d;
+  }
+  // BUG (intentional): mu_ is not held.
+  int Read() const { return total_; }
+
+ private:
+  mutable skeena::Mutex mu_;
+  int total_ SKEENA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.Read();
+}

@@ -1,0 +1,26 @@
+// Seeded violation for tests/static_analysis/run_checks.py: calls a
+// SKEENA_REQUIRES(mu_) helper without the lock held. The harness asserts
+// clang's -Werror=thread-safety rejects this translation unit.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void PushLocked(int v) SKEENA_REQUIRES(mu_) { size_ += v; }
+  // BUG (intentional): the *Locked contract is violated.
+  void Push(int v) { PushLocked(v); }
+  int SizeLocked() const SKEENA_REQUIRES(mu_) { return size_; }
+
+ private:
+  mutable skeena::Mutex mu_;
+  int size_ SKEENA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  return 0;
+}
